@@ -1,0 +1,33 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation (§4), prints it, and archives it under ``results/`` so the
+run's output can be diffed against EXPERIMENTS.md.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def save_table():
+    """Print a rendered table and archive it under results/<name>.txt."""
+
+    def _save(name: str, table: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+        print("\n" + table)
+
+    return _save
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic discrete-event runs; repeating
+    them would only re-measure identical work.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,246 @@
+"""Extensions benchmark: the paper's §6 future-work features.
+
+The paper names three directions for future work; all are implemented
+here and measured against the base system:
+
+* **profile-driven prefetch** — record an application's access profile,
+  then warm a fresh session's proxy cache with pipelined fetches before
+  the application starts;
+* **GridFTP-style parallel streams** for the file-based data channel;
+* **checkpoint/migration** of a live VM between compute servers.
+
+Plus the §3.2.1 option of **sharing a read-only proxy cache** between
+sessions on one host.
+"""
+
+from conftest import once
+
+from repro.core.profiler import AccessProfiler, Prefetcher
+from repro.core.blockcache import ProxyBlockCache
+from repro.core.config import ProxyCacheConfig
+from repro.core.session import GvfsSession, Scenario, ServerEndpoint
+from repro.net.gridftp import GridFtpTransfer
+from repro.net.ssh import ScpTransfer
+from repro.net.topology import make_paper_testbed
+from repro.vm.image import GuestFile, VmConfig, VmImage
+from repro.vm.migration import MigrationManager
+from repro.vm.monitor import VirtualMachine, VmMonitor
+
+MB = 1024 * 1024
+SMALL_CACHE = ProxyCacheConfig(capacity_bytes=256 * MB, n_banks=64,
+                               associativity=8)
+
+
+def build(n_compute=1, image_mb=16, metadata=True, seed=91):
+    testbed = make_paper_testbed(n_compute=n_compute)
+    endpoint = ServerEndpoint(testbed.env, testbed.wan_server)
+    image = VmImage.create(endpoint.export.fs, "/images/app",
+                           VmConfig(name="app", memory_mb=image_mb,
+                                    disk_gb=0.25, persistent=False,
+                                    seed=seed))
+    if metadata:
+        image.generate_metadata()
+    sessions = [GvfsSession.build(testbed, Scenario.WAN_CACHED,
+                                  endpoint=endpoint, compute_index=i,
+                                  cache_config=SMALL_CACHE)
+                for i in range(n_compute)]
+    return testbed, endpoint, image, sessions
+
+
+def drive(testbed, gen):
+    box = {}
+
+    def wrapper(env):
+        box["value"] = yield env.process(gen)
+        box["t"] = env.now
+
+    testbed.env.process(wrapper(testbed.env))
+    testbed.env.run()
+    return box.get("value"), box["t"]
+
+
+WORKING_SET = [GuestFile("app/binaries", 12 * MB),
+               GuestFile("app/dataset", 20 * MB)]
+
+
+def app_first_touch(env, session, testbed):
+    """The cold first-touch phase of an application in a VM."""
+    f = yield env.process(session.mount.open("/images/app/disk.vmdk"))
+    vm = VirtualMachine(env, testbed.compute[0],
+                        VmConfig(name="app", memory_mb=16, disk_gb=0.25,
+                                 persistent=True, seed=91), f, redo=None)
+    t0 = env.now
+    for gf in WORKING_SET:
+        yield env.process(vm.read_guest_file(gf))
+    return env.now - t0
+
+
+def test_extension_prefetch(benchmark, save_table):
+    box = {}
+
+    def run_all():
+        # Session 1: record the profile while the application runs cold.
+        testbed, _, _, (session,) = build(metadata=False)
+        profiler = AccessProfiler("app")
+        session.client_proxy.read_observers.append(profiler.observe)
+        demand, _ = drive(testbed,
+                          app_first_touch(testbed.env, session, testbed))
+        profile = profiler.stop()
+
+        # Session 2 (fresh everything): prefetch, then run.
+        testbed2, _, _, (session2,) = build(metadata=False)
+
+        def prefetched(env):
+            prefetcher = Prefetcher(env, session2.client_proxy,
+                                    concurrency=8)
+            t0 = env.now
+            yield env.process(prefetcher.prefetch(profile))
+            prefetch_time = env.now - t0
+            run_time = yield from app_first_touch(env, session2, testbed2)
+            return prefetch_time, run_time
+
+        (prefetch_time, run_time), _ = drive(testbed2,
+                                             prefetched(testbed2.env))
+        box.update(demand=demand, profile=profile,
+                   prefetch=prefetch_time, run=run_time)
+
+    once(benchmark, run_all)
+    table = "\n".join([
+        "Extension: profile-driven prefetch (32 MB first-touch set, WAN)",
+        f"  cold demand-paged first touch : {box['demand']:8.1f} s",
+        f"  pipelined prefetch (8-deep)   : {box['prefetch']:8.1f} s",
+        f"  first touch after prefetch    : {box['run']:8.1f} s",
+        f"  end-to-end improvement        : "
+        f"{box['demand'] / (box['prefetch'] + box['run']):8.1f}x",
+        f"  profile size                  : {box['profile'].n_blocks} blocks",
+    ])
+    save_table("ext_prefetch", table)
+    assert box["run"] < box["demand"] / 20         # warm run is ~free
+    assert box["prefetch"] + box["run"] < box["demand"] / 3
+
+
+def test_extension_gridftp_channel(benchmark, save_table):
+    box = {}
+
+    def fetch_time(transport_factory):
+        testbed, _, image, (session,) = build(image_mb=64)
+        proxy = session.client_proxy
+        proxy.channel.scp = transport_factory(testbed)
+        mem = image.memory_inode.data
+        nonzero = next(i for i in range(mem.n_chunks())
+                       if not mem.chunk_is_zero(i))
+
+        def job(env):
+            f = yield env.process(session.mount.open("/images/app/mem.vmss"))
+            t0 = env.now
+            yield env.process(f.read(nonzero * 8192, 8192))
+            return env.now - t0
+
+        value, _ = drive(testbed, job(testbed.env))
+        return value
+
+    def run_all():
+        box["scp"] = fetch_time(
+            lambda tb: ScpTransfer(tb.env, tb.wan_route_back(0)))
+        box["gridftp"] = fetch_time(
+            lambda tb: GridFtpTransfer(tb.env, tb.wan_route_back(0),
+                                       streams=4))
+
+    once(benchmark, run_all)
+    table = "\n".join([
+        "Extension: GridFTP parallel streams on the file channel "
+        "(64 MB state)",
+        f"  1 SCP stream   : {box['scp']:8.1f} s to first byte served",
+        f"  4 streams      : {box['gridftp']:8.1f} s",
+        f"  improvement    : {box['scp'] / box['gridftp']:8.2f}x",
+    ])
+    save_table("ext_gridftp", table)
+    assert box["gridftp"] < box["scp"]
+
+
+def test_extension_migration(benchmark, save_table):
+    box = {}
+
+    def run_all():
+        testbed, endpoint, image, sessions = build(n_compute=2,
+                                                   image_mb=64, seed=92)
+        monitors = [VmMonitor(testbed.env, testbed.compute[i])
+                    for i in range(2)]
+        manager = MigrationManager(testbed.env, monitors[0], sessions[0],
+                                   monitors[1], sessions[1])
+
+        def job(env):
+            vm = yield from monitors[0].resume(sessions[0].mount,
+                                               "/images/app")
+            result = yield from manager.migrate(vm, "/images/app",
+                                                dest_dir="/migrated/app")
+            return result
+
+        result, _ = drive(testbed, job(testbed.env))
+        scp = ScpTransfer(testbed.env, testbed.wan_route(0))
+        box["result"] = result
+        box["staging"] = 2 * scp.transfer_time(image.total_state_bytes)
+
+    once(benchmark, run_all)
+    result = box["result"]
+    rows = [f"    {k:22s}: {v:7.1f} s" for k, v in result.phases.items()
+            if not k.startswith("instantiate.")]
+    table = "\n".join([
+        "Extension: VM migration between compute servers (64 MB memory)",
+        f"  downtime (suspend -> resumed on destination): "
+        f"{result.downtime_seconds:.1f} s",
+        *rows,
+        f"  comparator: raw state out+in at one WAN stream: "
+        f"{box['staging']:.1f} s",
+    ])
+    save_table("ext_migration", table)
+    assert result.vm.running
+    assert result.downtime_seconds < box["staging"]
+
+
+def test_extension_shared_cache(benchmark, save_table):
+    box = {}
+
+    def run_all():
+        # Three sessions on one host touch the same golden working set.
+        def total_forwarded(shared: bool):
+            testbed, endpoint, image, (first,) = build(metadata=False,
+                                                       image_mb=8)
+            shared_cache = None
+            if shared:
+                shared_cache = ProxyBlockCache(
+                    testbed.env, testbed.compute[0].local, SMALL_CACHE,
+                    name="shared-ro", read_only=True)
+            sessions = [GvfsSession.build(
+                testbed, Scenario.WAN_CACHED, endpoint=endpoint,
+                cache_config=SMALL_CACHE,
+                shared_block_cache=shared_cache) for _ in range(3)]
+
+            def job(env):
+                for session in sessions:
+                    f = yield env.process(
+                        session.mount.open("/images/app/disk.vmdk"))
+                    for b in range(256):      # 2 MB working set each
+                        yield env.process(f.read(b * 8192, 8192))
+
+            _, t = drive(testbed, job(testbed.env))
+            forwarded = sum(s.client_proxy.stats.forwarded
+                            for s in sessions)
+            return forwarded, t
+
+        box["private"], box["private_t"] = total_forwarded(False)
+        box["shared"], box["shared_t"] = total_forwarded(True)
+
+    once(benchmark, run_all)
+    table = "\n".join([
+        "Extension: shared read-only proxy cache (3 sessions, one host)",
+        f"  private caches : {box['private']:6d} calls forwarded upstream, "
+        f"{box['private_t']:7.1f} s",
+        f"  shared cache   : {box['shared']:6d} calls forwarded upstream, "
+        f"{box['shared_t']:7.1f} s",
+        f"  WAN traffic saved: "
+        f"{1 - box['shared'] / box['private']:6.1%}",
+    ])
+    save_table("ext_shared_cache", table)
+    assert box["shared"] < box["private"] / 2
+    assert box["shared_t"] < box["private_t"]

@@ -1,0 +1,48 @@
+"""Figure 3: SPECseis benchmark execution times.
+
+Paper claims reproduced here:
+* phase 4 (compute-intensive) is within ~10 % across all scenarios;
+* phase 1 (I/O-intensive trace creation) is ~2.1x faster in WAN+C than
+  in WAN, thanks to write-back proxy caching;
+* the proxy cache brings the total WAN execution time down ~33 %.
+"""
+
+from conftest import once
+
+from repro.analysis.tables import format_figure3
+from repro.core.session import Scenario
+from repro.experiments.appbench import run_application_benchmark
+from repro.workloads.specseis import SpecSeis
+
+SCENARIOS = [Scenario.LOCAL, Scenario.LAN, Scenario.WAN, Scenario.WAN_CACHED]
+
+
+def test_fig3_specseis(benchmark, save_table):
+    results = {}
+
+    def run_all():
+        for scenario in SCENARIOS:
+            results[scenario.value] = run_application_benchmark(
+                scenario, SpecSeis, runs=1)
+
+    once(benchmark, run_all)
+    save_table("fig3_specseis", format_figure3(results))
+
+    local = results["Local"]
+    wan = results["WAN"]
+    wanc = results["WAN+C"]
+
+    # Phase 4 within ~10% across scenarios (compute-bound).
+    p4 = [results[s.value].phase("phase4") for s in SCENARIOS]
+    assert max(p4) / min(p4) < 1.12
+
+    # Phase 1: WAN+C beats WAN by roughly the paper's factor 2.1.
+    ratio = wan.phase("phase1") / wanc.phase("phase1")
+    assert 1.6 < ratio < 2.8
+
+    # Total: proxy cache cuts WAN time by >=25% (paper: 33%).
+    assert wanc.run_total() < wan.run_total() * 0.75
+
+    # Sanity ordering: Local <= LAN << WAN.
+    assert local.run_total() <= results["LAN"].run_total()
+    assert results["LAN"].run_total() < wan.run_total()

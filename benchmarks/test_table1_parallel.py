@@ -1,0 +1,52 @@
+"""Table 1: total time of cloning eight VM images, sequential vs parallel.
+
+The paper's table compares WAN-S1-style sequential cloning against
+WAN-P parallel cloning to eight compute servers sharing one image
+server, for cold caches (every cloning starts cold) and warm caches:
+
+    WAN-S1: 1056 s cold /  200 s warm
+    WAN-P :  150.3 s cold / 32 s warm   (speedup >7x cold, >6x warm)
+
+The parallel win comes from overlapping the per-clone pipeline stages
+— image-server gzip, SCP streams, client-side uncompress/resume —
+across machines, while the sequential run pays them back to back.
+"""
+
+from conftest import once
+
+from repro.analysis.tables import format_table1
+from repro.experiments.clonebench import (
+    CloneScenario,
+    run_cloning_benchmark,
+    run_parallel_cloning,
+)
+
+
+def test_table1_parallel_cloning(benchmark, save_table):
+    box = {}
+
+    def run_all():
+        box["seq_cold"] = run_cloning_benchmark(
+            CloneScenario.WAN_S1, cold_between=True).total_seconds
+        box["seq_warm"] = run_cloning_benchmark(
+            CloneScenario.WAN_S1, warm=True).total_seconds
+        box["par_cold"] = run_parallel_cloning().total_seconds
+        box["par_warm"] = run_parallel_cloning(warm=True).total_seconds
+
+    once(benchmark, run_all)
+    save_table("table1_parallel", format_table1(
+        box["seq_cold"], box["seq_warm"], box["par_cold"], box["par_warm"]))
+
+    # Parallel cloning wins by a large factor, cold and warm (the paper
+    # reports >7x / >6x; the shared image-server CPU bounds ours lower).
+    assert box["par_cold"] < box["seq_cold"] / 2.5
+    assert box["par_warm"] < box["seq_warm"] / 4
+
+    # Warm is far cheaper than cold in both arrangements.
+    assert box["seq_warm"] < box["seq_cold"] / 2.5
+    assert box["par_warm"] < box["par_cold"] / 2.5
+
+    # Magnitudes: parallel cold lands in the paper's regime (~150-250 s
+    # for eight 320 MB/1.6 GB images), warm within tens of seconds.
+    assert box["par_cold"] < 300
+    assert box["par_warm"] < 60

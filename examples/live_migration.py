@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Load balancing by VM migration over GVFS (§6 future work).
+
+A VM is running a computation on an overloaded compute server.  The
+middleware checkpoints it through the write-back proxy, ships the
+compressed state via the file channel, and resumes it on an idle
+server — while a profile of the guest's disk accesses, recorded on the
+source, pre-warms the destination's proxy cache so the application
+continues at full speed.
+
+Run:  python examples/live_migration.py
+"""
+
+from repro.core.profiler import AccessProfiler, Prefetcher
+from repro.core.session import GvfsSession, Scenario, ServerEndpoint
+from repro.net.topology import make_paper_testbed
+from repro.vm.image import GuestFile, VmConfig, VmImage
+from repro.vm.migration import MigrationManager
+from repro.vm.monitor import VmMonitor
+
+MB = 1024 * 1024
+
+
+def main() -> None:
+    testbed = make_paper_testbed(n_compute=2)
+    env = testbed.env
+    endpoint = ServerEndpoint(env, testbed.wan_server)
+    image = VmImage.create(endpoint.export.fs, "/images/worker",
+                           VmConfig(name="worker", memory_mb=32,
+                                    disk_gb=0.1, persistent=False, seed=17))
+    image.generate_metadata()
+
+    sessions = [GvfsSession.build(testbed, Scenario.WAN_CACHED,
+                                  endpoint=endpoint, compute_index=i)
+                for i in range(2)]
+    monitors = [VmMonitor(env, testbed.compute[i]) for i in range(2)]
+    manager = MigrationManager(env, monitors[0], sessions[0],
+                               monitors[1], sessions[1])
+    dataset = GuestFile("work/dataset", 8 * MB)
+
+    def scenario(env):
+        # Boot on compute0 and start working; profile the disk accesses.
+        vm = yield from monitors[0].resume(sessions[0].mount,
+                                           "/images/worker")
+        profiler = AccessProfiler("worker")
+        sessions[0].client_proxy.read_observers.append(profiler.observe)
+        yield env.process(vm.read_guest_file(dataset))
+        yield vm.compute(5.0)
+        print(f"[{env.now:6.1f}s] worker busy on compute0 "
+              f"({vm.disk_bytes_read >> 20} MB of dataset read)")
+
+        # The scheduler decides to move it to compute1.
+        t0 = env.now
+        result = yield from manager.migrate(vm, "/images/worker",
+                                            dest_dir="/migrated/worker")
+        print(f"[{env.now:6.1f}s] migrated to compute1: downtime "
+              f"{result.downtime_seconds:.1f}s "
+              f"(suspend {result.phases['suspend']:.1f}s, "
+              f"flush {result.phases['flush']:.1f}s, "
+              f"instantiate {result.phases['instantiate']:.1f}s)")
+
+        # Warm the destination cache from the recorded profile before
+        # the guest touches its dataset again.
+        profile = profiler.stop()
+        prefetcher = Prefetcher(env, sessions[1].client_proxy,
+                                concurrency=8)
+        t1 = env.now
+        yield env.process(prefetcher.prefetch(profile))
+        print(f"[{env.now:6.1f}s] destination cache warmed: "
+              f"{prefetcher.blocks_fetched} blocks in {env.now - t1:.1f}s")
+
+        new_vm = result.vm
+        t2 = env.now
+        yield env.process(new_vm.read_guest_file(dataset))
+        yield new_vm.compute(5.0)
+        print(f"[{env.now:6.1f}s] worker resumed its dataset pass in "
+              f"{env.now - t2:.1f}s on compute1")
+
+    env.process(scenario(env))
+    env.run()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — reproduction of *Distributed File System Support for Virtual
+Machines in Grid Computing* (Zhao, Zhang, Figueiredo; HPDC 2004).
+
+The package implements the paper's Grid Virtual File System (GVFS) and
+every substrate its evaluation depends on:
+
+* :mod:`repro.sim` — deterministic discrete-event simulation kernel;
+* :mod:`repro.net` — links/routes, SSH tunnels, SCP, compression, and
+  the paper's LAN/WAN testbed topology;
+* :mod:`repro.storage` — disks, sparse files, local filesystems;
+* :mod:`repro.nfs` — a userspace NFSv3 subset (protocol, server,
+  client with kernel-style buffer cache);
+* :mod:`repro.core` — **the contribution**: GVFS proxies with
+  block/file disk caches, meta-data handling (zero maps, file channel)
+  and middleware-driven consistency, assembled into per-user sessions;
+* :mod:`repro.vm` — VM images, monitor, redo logs, cloning;
+* :mod:`repro.workloads` — SPECseis / LaTeX / kernel-compile models;
+* :mod:`repro.middleware` — logical accounts, image catalog, session
+  orchestration;
+* :mod:`repro.baselines` — SCP, plain-NFS and staging comparators;
+* :mod:`repro.experiments` + :mod:`repro.analysis` — drivers and table
+  renderers for every figure and table in §4.
+
+Quickstart::
+
+    from repro.core.session import GvfsSession, Scenario, ServerEndpoint
+    from repro.net.topology import make_paper_testbed
+    from repro.vm.image import VmImage, VmConfig
+
+    testbed = make_paper_testbed()
+    endpoint = ServerEndpoint(testbed.env, testbed.wan_server)
+    image = VmImage.create(endpoint.export.fs, "/images/golden",
+                           VmConfig(name="golden"))
+    image.generate_metadata()
+    session = GvfsSession.build(testbed, Scenario.WAN_CACHED,
+                                endpoint=endpoint)
+    # session.mount now serves the image over a caching proxy chain.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "experiments",
+    "middleware",
+    "net",
+    "nfs",
+    "sim",
+    "storage",
+    "vm",
+    "workloads",
+]

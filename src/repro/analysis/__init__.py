@@ -1,0 +1,34 @@
+"""Result aggregation and paper-style table rendering."""
+
+from repro.analysis.stats import (
+    SessionStats,
+    collect_session_stats,
+    geometric_mean,
+    overhead,
+    speedup,
+)
+from repro.analysis.report import ReproductionReport, assemble_report
+from repro.analysis.tables import (
+    format_figure3,
+    format_figure4,
+    format_figure5,
+    format_figure6,
+    format_table1,
+    format_duration,
+)
+
+__all__ = [
+    "ReproductionReport",
+    "SessionStats",
+    "assemble_report",
+    "collect_session_stats",
+    "format_duration",
+    "format_figure3",
+    "format_figure4",
+    "format_figure5",
+    "format_figure6",
+    "format_table1",
+    "geometric_mean",
+    "overhead",
+    "speedup",
+]

@@ -1,0 +1,141 @@
+"""Renderers that print each figure/table in the paper's own shape.
+
+Each ``format_*`` function takes the corresponding experiment results
+and returns a text table whose rows/series match what the paper plots,
+so a reproduction run can be compared against §4 line by line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "format_duration",
+    "format_figure3",
+    "format_figure4",
+    "format_figure5",
+    "format_figure6",
+    "format_table1",
+]
+
+
+def format_duration(seconds: float) -> str:
+    """mm:ss (Figure 3) / h:mm (Figure 5) style compact duration."""
+    seconds = int(round(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}:{seconds % 3600 // 60:02d}h"
+    return f"{seconds // 60}:{seconds % 60:02d}"
+
+
+def _table(header: Sequence[str], rows: List[Sequence[str]],
+           title: str) -> str:
+    widths = [max(len(str(r[i])) for r in [header, *rows])
+              for i in range(len(header))]
+    def line(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    bar = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    return "\n".join([title, bar, line(header), bar,
+                      *(line(r) for r in rows), bar])
+
+
+def format_figure3(results: Dict[str, "AppBenchResult"]) -> str:
+    """SPECseis execution times per phase (Figure 3)."""
+    scenarios = list(results)
+    header = ["phase", *scenarios]
+    phases = [p.name for p in next(iter(results.values())).runs[0].phases]
+    rows = []
+    for name in phases:
+        rows.append([name, *(format_duration(results[s].phase(name))
+                             for s in scenarios)])
+    rows.append(["total", *(format_duration(results[s].run_total())
+                            for s in scenarios)])
+    return _table(header, rows,
+                  "Figure 3: SPECseis benchmark execution times (m:ss)")
+
+
+def format_figure4(results: Dict[str, "AppBenchResult"],
+                   staging_download: float = None,
+                   staging_upload: float = None) -> str:
+    """LaTeX benchmark: first iteration / mean 2-20 / total (Figure 4)."""
+    scenarios = list(results)
+    header = ["metric", *scenarios]
+    rows = []
+    firsts, means, totals, flushes = [], [], [], []
+    for s in scenarios:
+        run = results[s].runs[0]
+        rest = [p.seconds for p in run.phases[1:]]
+        firsts.append(run.phases[0].seconds)
+        means.append(sum(rest) / len(rest))
+        totals.append(run.total_seconds)
+        flushes.append(results[s].flush_seconds)
+    rows.append(["first iteration (s)", *(f"{v:.2f}" for v in firsts)])
+    rows.append(["mean iters 2-20 (s)", *(f"{v:.2f}" for v in means)])
+    rows.append(["total (s)", *(f"{v:.1f}" for v in totals)])
+    rows.append(["write-back flush (s)", *(f"{v:.1f}" for v in flushes)])
+    out = _table(header, rows, "Figure 4: LaTeX benchmark execution times")
+    notes = []
+    if staging_download is not None:
+        notes.append(f"full-state download before session: "
+                     f"{staging_download:.0f} s (paper: 2818 s)")
+    if staging_upload is not None:
+        notes.append(f"full-state upload after session:    "
+                     f"{staging_upload:.0f} s (paper: 4633 s)")
+    return out + ("\n" + "\n".join(notes) if notes else "")
+
+
+def format_figure5(results: Dict[str, "AppBenchResult"]) -> str:
+    """Kernel compilation: 4 phases x 2 consecutive runs (Figure 5)."""
+    scenarios = list(results)
+    blocks = []
+    for run_index, label in [(0, "first run (cold caches)"),
+                             (1, "second run (warm caches)")]:
+        header = ["phase", *scenarios]
+        phases = [p.name for p in
+                  next(iter(results.values())).runs[run_index].phases]
+        rows = []
+        for name in phases:
+            rows.append([name, *(format_duration(
+                results[s].phase(name, run=run_index)) for s in scenarios)])
+        rows.append(["total", *(format_duration(
+            results[s].run_total(run_index)) for s in scenarios)])
+        blocks.append(_table(header, rows,
+                             f"Figure 5: kernel compilation — {label}"))
+    return "\n\n".join(blocks)
+
+
+def format_figure6(results: Dict[str, "CloneBenchResult"],
+                   scp_seconds: float = None,
+                   purenfs_seconds: float = None) -> str:
+    """Cloning times for a sequence of images, 1..8 (Figure 6)."""
+    scenarios = list(results)
+    n = max(len(results[s].clone_seconds) for s in scenarios)
+    header = ["clone #", *scenarios]
+    rows = []
+    for i in range(n):
+        row = [str(i + 1)]
+        for s in scenarios:
+            seq = results[s].clone_seconds
+            row.append(f"{seq[i]:.1f}" if i < len(seq) else "-")
+        rows.append(row)
+    out = _table(header, rows, "Figure 6: VM cloning times (seconds)")
+    notes = []
+    if scp_seconds is not None:
+        notes.append(f"cloning by full-image SCP copy: {scp_seconds:.0f} s "
+                     "(paper: 1127 s)")
+    if purenfs_seconds is not None:
+        notes.append(f"cloning off plain NFS (no GVFS): "
+                     f"{purenfs_seconds:.0f} s (paper: 2060 s)")
+    return out + ("\n" + "\n".join(notes) if notes else "")
+
+
+def format_table1(seq_cold: float, seq_warm: float,
+                  par_cold: float, par_warm: float) -> str:
+    """Total time of cloning eight images, sequential vs parallel."""
+    rows = [
+        ["WAN-S1 (sequential)", f"{seq_cold:.1f}", f"{seq_warm:.1f}"],
+        ["WAN-P  (parallel)", f"{par_cold:.1f}", f"{par_warm:.1f}"],
+        ["speedup", f"{seq_cold / par_cold:.2f}x",
+         f"{seq_warm / par_warm:.2f}x"],
+    ]
+    return _table(["scenario", "cold caches (s)", "warm caches (s)"], rows,
+                  "Table 1: total time of cloning eight VM images")

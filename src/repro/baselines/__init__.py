@@ -1,0 +1,16 @@
+"""Comparator systems the paper measures GVFS against.
+
+* :mod:`~repro.baselines.scp` — cloning by copying the entire image
+  with SCP before resuming (the paper's ~1127 s comparator);
+* :mod:`~repro.baselines.purenfs` — resuming straight off a plain
+  NFS-mounted directory with no GVFS extensions (~2060 s);
+* :mod:`~repro.baselines.staging` — GASS/file-staging style whole-state
+  download at session start and upload at session end (the 2818 s /
+  4633 s numbers framing Figure 4).
+"""
+
+from repro.baselines.scp import ScpCloneBaseline
+from repro.baselines.purenfs import PureNfsCloneBaseline
+from repro.baselines.staging import StagingBaseline
+
+__all__ = ["PureNfsCloneBaseline", "ScpCloneBaseline", "StagingBaseline"]

@@ -1,0 +1,66 @@
+"""File-staging baseline (GASS/GridFTP style, §3.1 and §4.2.2).
+
+Staging transfers *entire* files between image server and compute
+server at session boundaries: the full VM state is downloaded before
+the session starts (the paper's 2818 s comparison for the LaTeX
+session) and uploaded when it ends (4633 s) — regardless of how little
+of it the session actually touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.net.ssh import ScpTransfer
+from repro.net.topology import Testbed
+from repro.vm.image import VmImage
+
+__all__ = ["StagingBaseline"]
+
+
+@dataclass
+class StagingResult:
+    download_seconds: float = 0.0
+    upload_seconds: float = 0.0
+
+
+class StagingBaseline:
+    """Whole-state download/upload at session boundaries."""
+
+    #: Upload streams of the era ran markedly below download rates
+    #: (asymmetric paths / congestion toward the image server); the
+    #: paper's pair is 2818 s down vs 4633 s up for the same state.
+    UPLOAD_SLOWDOWN = 1.6
+
+    def __init__(self, testbed: Testbed, compute_index: int = 0):
+        self.testbed = testbed
+        self.env = testbed.env
+        self.down = ScpTransfer(self.env,
+                                testbed.wan_route_back(compute_index),
+                                name="stage-down")
+        up = ScpTransfer(self.env, testbed.wan_route(compute_index),
+                         name="stage-up")
+        up.tcp_window = int(up.tcp_window / self.UPLOAD_SLOWDOWN)
+        self.up = up
+
+    def state_bytes(self, image: VmImage) -> int:
+        return image.total_state_bytes
+
+    def download(self, image: VmImage) -> Generator:
+        """Process: stage the whole VM state in; returns seconds."""
+        t0 = self.env.now
+        yield self.env.process(self.down.transfer(image.total_state_bytes))
+        return self.env.now - t0
+
+    def upload(self, image: VmImage) -> Generator:
+        """Process: stage the whole (modified) VM state back out."""
+        t0 = self.env.now
+        yield self.env.process(self.up.transfer(image.total_state_bytes))
+        return self.env.now - t0
+
+    def session(self, image: VmImage) -> Generator:
+        """Process: download + upload bracket; returns StagingResult."""
+        down = yield self.env.process(self.download(image))
+        up = yield self.env.process(self.upload(image))
+        return StagingResult(download_seconds=down, upload_seconds=up)

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``bench <target>``
+    Regenerate one of the paper's figures/tables and print its table.
+    Targets: ``fig3`` ``fig4`` ``fig5`` ``fig6`` ``table1`` ``zero``
+    ``all``.
+``info``
+    Print the calibration constants shared by every experiment.
+``report``
+    Assemble the archived benchmark tables under ``results/`` into one
+    reproduction report (exit code 1 while sections are missing).
+
+The heavy lifting lives in :mod:`repro.experiments`; this is a thin
+front end so a checkout is usable without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+
+def _bench_fig3() -> str:
+    from repro.analysis.tables import format_figure3
+    from repro.core.session import Scenario
+    from repro.experiments.appbench import run_application_benchmark
+    from repro.workloads.specseis import SpecSeis
+    results = {s.value: run_application_benchmark(s, SpecSeis, runs=1)
+               for s in [Scenario.LOCAL, Scenario.LAN, Scenario.WAN,
+                         Scenario.WAN_CACHED]}
+    return format_figure3(results)
+
+
+def _bench_fig4() -> str:
+    from repro.analysis.tables import format_figure4
+    from repro.core.session import Scenario
+    from repro.experiments.appbench import run_application_benchmark
+    from repro.workloads.latex import LatexBenchmark
+    results = {s.value: run_application_benchmark(s, LatexBenchmark, runs=1)
+               for s in [Scenario.LOCAL, Scenario.LAN, Scenario.WAN,
+                         Scenario.WAN_CACHED]}
+    return format_figure4(results)
+
+
+def _bench_fig5() -> str:
+    from repro.analysis.tables import format_figure5
+    from repro.core.session import Scenario
+    from repro.experiments.appbench import run_application_benchmark
+    from repro.workloads.kernelcompile import KernelCompile
+    results = {s.value: run_application_benchmark(s, KernelCompile, runs=2)
+               for s in [Scenario.LOCAL, Scenario.LAN, Scenario.WAN,
+                         Scenario.WAN_CACHED]}
+    return format_figure5(results)
+
+
+def _bench_fig6() -> str:
+    from repro.analysis.tables import format_figure6
+    from repro.experiments.clonebench import (CloneScenario,
+                                              run_cloning_benchmark)
+    results = {s.value: run_cloning_benchmark(s)
+               for s in [CloneScenario.LOCAL, CloneScenario.WAN_S1,
+                         CloneScenario.WAN_S2, CloneScenario.WAN_S3]}
+    return format_figure6(results)
+
+
+def _bench_table1() -> str:
+    from repro.analysis.tables import format_table1
+    from repro.experiments.clonebench import (CloneScenario,
+                                              run_cloning_benchmark,
+                                              run_parallel_cloning)
+    seq_cold = run_cloning_benchmark(CloneScenario.WAN_S1,
+                                     cold_between=True).total_seconds
+    seq_warm = run_cloning_benchmark(CloneScenario.WAN_S1,
+                                     warm=True).total_seconds
+    par_cold = run_parallel_cloning().total_seconds
+    par_warm = run_parallel_cloning(warm=True).total_seconds
+    return format_table1(seq_cold, seq_warm, par_cold, par_warm)
+
+
+def _bench_zero() -> str:
+    from repro.core.metadata import generate_metadata
+    from repro.core.session import GvfsSession, Scenario, ServerEndpoint
+    from repro.net.topology import make_paper_testbed
+    from repro.vm.image import VmConfig, VmImage
+    from repro.vm.monitor import VmMonitor
+    testbed = make_paper_testbed()
+    endpoint = ServerEndpoint(testbed.env, testbed.wan_server)
+    VmImage.create(endpoint.export.fs, "/images/postboot",
+                   VmConfig(name="postboot", memory_mb=512, disk_gb=0.25,
+                            persistent=True, seed=73), zero_fraction=0.92)
+    generate_metadata(endpoint.export.fs, "/images/postboot/mem.vmss",
+                      actions=[])
+    session = GvfsSession.build(testbed, Scenario.WAN_CACHED,
+                                endpoint=endpoint)
+    monitor = VmMonitor(testbed.env, testbed.compute[0])
+
+    def driver(env):
+        yield env.process(monitor.resume(session.mount, "/images/postboot"))
+
+    testbed.env.process(driver(testbed.env))
+    testbed.env.run()
+    stats = session.client_proxy.stats
+    reads = session.mount.rpc.stats.by_proc.get("READ", 0)
+    return (f"512 MB post-boot resume: {reads} NFS reads issued, "
+            f"{stats.zero_filtered_reads} filtered as zero-filled "
+            f"({stats.zero_filtered_reads / (512 * 128):.1%}; "
+            f"paper: 60,452 of 65,750 ≈ 92%)")
+
+
+BENCH_TARGETS: Dict[str, Callable[[], str]] = {
+    "fig3": _bench_fig3,
+    "fig4": _bench_fig4,
+    "fig5": _bench_fig5,
+    "fig6": _bench_fig6,
+    "table1": _bench_table1,
+    "zero": _bench_zero,
+}
+
+
+def _cmd_bench(args) -> int:
+    targets = (list(BENCH_TARGETS) if args.target == "all"
+               else [args.target])
+    for target in targets:
+        start = time.time()
+        table = BENCH_TARGETS[target]()
+        print(table)
+        print(f"[{target}: regenerated in {time.time() - start:.0f}s "
+              "wall clock]\n")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import assemble_report
+    report = assemble_report(args.results_dir)
+    print(report.text)
+    if report.missing:
+        print(f"[{len(report.missing)} section(s) missing — run "
+              "`pytest benchmarks/ --benchmark-only` first]")
+        return 1
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.net.compress import GZIP
+    from repro.net.topology import LAN_2003, WAN_2003
+    from repro.nfs.protocol import NFS_BLOCK_SIZE
+    from repro.net.ssh import DEFAULT_TCP_WINDOW
+    from repro.storage.disk import SCSI_2003
+    print("Calibration constants (shared by every experiment):")
+    print(f"  LAN: {LAN_2003.latency * 1e3:.1f} ms one-way, "
+          f"{LAN_2003.bandwidth / 1.25e5:.0f} Mbit/s")
+    print(f"  WAN: {WAN_2003.latency * 1e3:.1f} ms one-way "
+          f"(~{2 * WAN_2003.latency * 1e3:.0f} ms RTT), "
+          f"{WAN_2003.bandwidth / 1.25e5:.0f} Mbit/s raw")
+    print(f"  TCP window: {DEFAULT_TCP_WINDOW // 1024} KiB "
+          f"(~{DEFAULT_TCP_WINDOW / (2 * WAN_2003.latency) / 1e6:.1f} MB/s "
+          "per WAN stream)")
+    print(f"  NFS rsize/wsize: {NFS_BLOCK_SIZE // 1024} KB")
+    print(f"  disk: {SCSI_2003.positioning * 1e3:.1f} ms positioning, "
+          f"{SCSI_2003.bandwidth / 1e6:.0f} MB/s")
+    print(f"  gzip: {GZIP.compress_bps / 1e6:.1f} MB/s compress, "
+          f"{GZIP.decompress_bps / 1e6:.0f} MB/s decompress")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Distributed File System Support for "
+                    "Virtual Machines in Grid Computing' (HPDC 2004)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bench = sub.add_parser("bench", help="regenerate a figure/table")
+    bench.add_argument("target", choices=[*BENCH_TARGETS, "all"])
+    bench.set_defaults(func=_cmd_bench)
+
+    info = sub.add_parser("info", help="print calibration constants")
+    info.set_defaults(func=_cmd_info)
+
+    report = sub.add_parser("report",
+                            help="assemble the reproduction report from "
+                                 "archived benchmark tables")
+    report.add_argument("--results-dir", default="results")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Middleware-driven consistency (§3.2.1).
+
+Kernel NFS clients cannot safely keep long-term write-back state
+because they know nothing about sharing.  GVFS moves the decision up a
+layer: the proxy holds dirty data until the *middleware* — which knows
+tasks are independent (Condor-style scheduling) or that a session has
+ended — signals it.  The real implementation uses O/S signals; here the
+signal delivery is a method call that starts the corresponding proxy
+process, with a log the tests and experiments can inspect.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Generator, List
+
+from repro.core.proxy import GvfsProxy
+from repro.sim import Environment
+
+__all__ = ["ConsistencySignal", "MiddlewareConsistency"]
+
+
+class ConsistencySignal(enum.Enum):
+    """Signals middleware can deliver to a proxy."""
+
+    #: Write dirty cached data back to the server (keep caches warm).
+    WRITE_BACK = "SIGUSR1"
+    #: Write back, then invalidate all cached contents (session end /
+    #: ownership handoff to another client).
+    FLUSH = "SIGUSR2"
+
+
+@dataclass(frozen=True)
+class SignalRecord:
+    """One delivered signal, for session accounting."""
+
+    time: float
+    signal: ConsistencySignal
+    proxy_name: str
+    duration: float
+
+
+class MiddlewareConsistency:
+    """The middleware's handle on a session's consistency points."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.log: List[SignalRecord] = []
+
+    def signal(self, proxy: GvfsProxy,
+               sig: ConsistencySignal) -> Generator:
+        """Process: deliver ``sig`` to ``proxy`` and wait for completion."""
+        start = self.env.now
+        yield self.env.process(proxy.flush())
+        if sig is ConsistencySignal.FLUSH:
+            proxy.invalidate_caches()
+        self.log.append(SignalRecord(
+            time=start, signal=sig, proxy_name=proxy.config.name,
+            duration=self.env.now - start))
+
+    def session_end(self, proxies: List[GvfsProxy]) -> Generator:
+        """Process: flush every proxy of a session, client-side first."""
+        for proxy in proxies:
+            yield self.env.process(self.signal(proxy, ConsistencySignal.FLUSH))
+
+    def checkpoint(self, proxies: List[GvfsProxy]) -> Generator:
+        """Process: write back without invalidating (idle-time sync)."""
+        for proxy in proxies:
+            yield self.env.process(self.signal(proxy,
+                                               ConsistencySignal.WRITE_BACK))

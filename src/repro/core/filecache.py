@@ -1,0 +1,143 @@
+"""Proxy file-based disk cache (§3.2.2).
+
+Holds whole files fetched through the file-based data channel on the
+proxy host's local disk; once a file is cached, "all the following
+requests to the file will also be satisfied locally".  Complements the
+block cache to form the paper's *heterogeneous disk caching* scheme.
+
+Entries are keyed by the remote file handle.  Contents are real bytes
+(kept sparse — zero regions of a memory image never materialize), and
+reads/writes charge the proxy host's disk/page cache.  Write-back is
+supported: a locally modified cached file can be uploaded (compress →
+copy → uncompress on the server) by the channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.nfs.protocol import FileHandle
+from repro.sim import Environment
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.vfs import Inode, SparseFile
+
+__all__ = ["FileCacheEntry", "ProxyFileCache"]
+
+
+@dataclass
+class FileCacheEntry:
+    """One whole-file cache entry."""
+
+    fh: FileHandle
+    inode: Inode         # local copy on the proxy host
+    size: int
+    dirty: bool = False
+
+
+class ProxyFileCache:
+    """Whole-file cache on the proxy host's local disk."""
+
+    def __init__(self, env: Environment, storage: LocalFileSystem,
+                 name: str = "filecache"):
+        self.env = env
+        self.storage = storage
+        self.name = name
+        self._entries: Dict[FileHandle, FileCacheEntry] = {}
+        if not storage.fs.exists(self._root()):
+            storage.fs.mkdir(self._root(), parents=True)
+        # Statistics
+        self.hits = 0
+        self.misses = 0
+        self.installs = 0
+
+    def _root(self) -> str:
+        return f"/{self.name}"
+
+    def _local_path(self, fh: FileHandle) -> str:
+        return f"{self._root()}/{fh.fsid}.{fh.fileid}"
+
+    # -- queries ---------------------------------------------------------------
+    def __contains__(self, fh: FileHandle) -> bool:
+        return fh in self._entries
+
+    def entry(self, fh: FileHandle) -> Optional[FileCacheEntry]:
+        return self._entries.get(fh)
+
+    @property
+    def cached_files(self) -> int:
+        return len(self._entries)
+
+    # -- installation ------------------------------------------------------------
+    def install(self, fh: FileHandle, content: SparseFile) -> Generator:
+        """Process: place a fetched file into the cache.
+
+        The content is copied logically (chunk sharing — cheap) and the
+        *non-zero* payload is charged as a streaming disk write, which
+        also warms the host page cache, so an immediately following
+        whole-file read (the VM resume) runs at memory speed.
+        """
+        path = self._local_path(fh)
+        if self.storage.fs.exists(path):
+            self.storage.fs.unlink(path)
+        inode = self.storage.fs.create(path)
+        inode.data = content.copy()
+        entry = FileCacheEntry(fh=fh, inode=inode, size=content.size)
+        self._entries[fh] = entry
+        # The uncompress step wrote the *whole* file (zeros included) on a
+        # real host: charge the full size to the write-behind pool and
+        # leave the fresh pages warm in the host page cache.
+        yield from self.storage.stage_bulk_write(
+            inode, content.size, warm_chunks=range(inode.data.n_chunks()))
+        self.installs += 1
+        return entry
+
+    # -- data access ------------------------------------------------------------
+    def read(self, fh: FileHandle, offset: int, count: int) -> Generator:
+        """Process: read from the cached copy (disk/page-cache timed)."""
+        entry = self._entries.get(fh)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        data = yield from self.storage.timed_read_inode(
+            entry.inode, offset, count)
+        return data
+
+    def write(self, fh: FileHandle, offset: int, data: bytes) -> Generator:
+        """Process: update the cached copy locally and mark it dirty."""
+        entry = self._entries.get(fh)
+        if entry is None:
+            raise KeyError(f"{fh} not in file cache")
+        yield from self.storage.timed_write_inode(
+            entry.inode, data, offset)
+        entry.size = entry.inode.data.size
+        entry.dirty = True
+
+    def mark_clean(self, fh: FileHandle) -> None:
+        entry = self._entries.get(fh)
+        if entry is not None:
+            entry.dirty = False
+
+    def dirty_entries(self):
+        """Entries with local modifications awaiting upload."""
+        return [e for e in self._entries.values() if e.dirty]
+
+    def evict(self, fh: FileHandle) -> None:
+        """Drop a cached file (must be clean)."""
+        entry = self._entries.pop(fh, None)
+        if entry is None:
+            return
+        if entry.dirty:
+            self._entries[fh] = entry
+            raise RuntimeError(f"evicting dirty file-cache entry {fh}")
+        path = self._local_path(fh)
+        if self.storage.fs.exists(path):
+            self.storage.fs.unlink(path)
+
+    def clear(self) -> None:
+        """Cold-cache setup; refuses if dirty data would be lost."""
+        if self.dirty_entries():
+            raise RuntimeError("clear() with dirty file-cache entries")
+        for fh in list(self._entries):
+            self.evict(fh)

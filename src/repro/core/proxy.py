@@ -1,0 +1,410 @@
+"""The GVFS user-level proxy (§3.1–3.2).
+
+A proxy *receives* NFS RPC calls (like a server) and *issues* them
+(like a client), so proxies cascade into multi-level hierarchies.  This
+implementation adds, per the paper's extensions:
+
+* credential remapping (logical user accounts / short-lived identities),
+* the block-based disk cache with write-back or write-through policy,
+* meta-data handling: zero-filled blocks answered locally, whole-file
+  fetches routed through the file-based data channel into the
+  file-based cache (heterogeneous caching),
+* middleware-driven consistency: client COMMITs can be absorbed; the
+  middleware signals write-back/flush explicitly
+  (:meth:`GvfsProxy.flush`), mirroring the O/S-signal interface.
+
+Everything is transparent to the kernel client above and the server
+below: requests and replies are ordinary protocol messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.blockcache import ProxyBlockCache
+from repro.core.channel import FileChannel
+from repro.core.config import CachePolicy, ProxyConfig
+from repro.core.metadata import FileMetadata, METADATA_SUFFIX, metadata_name_for
+from repro.nfs.protocol import (
+    Fattr,
+    FileHandle,
+    NfsProc,
+    NfsReply,
+    NfsRequest,
+    NfsStatus,
+)
+from repro.nfs.rpc import RpcClient
+from repro.sim import Environment
+
+__all__ = ["GvfsProxy", "ProxyStats"]
+
+
+@dataclass
+class ProxyStats:
+    """Counters a session reports to the middleware."""
+
+    requests: int = 0
+    forwarded: int = 0
+    zero_filtered_reads: int = 0
+    block_cache_hits: int = 0
+    block_cache_misses: int = 0
+    file_cache_reads: int = 0
+    absorbed_writes: int = 0
+    absorbed_commits: int = 0
+    writebacks: int = 0
+    channel_fetches: int = 0
+
+
+class GvfsProxy:
+    """One user-level file system proxy in a GVFS session chain."""
+
+    #: CPU cost of proxy request processing (user-level RPC dispatch).
+    OP_CPU = 30e-6
+
+    def __init__(self, env: Environment, upstream: RpcClient,
+                 config: ProxyConfig = ProxyConfig(),
+                 block_cache: Optional[ProxyBlockCache] = None,
+                 channel: Optional[FileChannel] = None):
+        if config.cache is not None and block_cache is None:
+            raise ValueError("config requests a cache but none was attached")
+        self.env = env
+        self.upstream = upstream
+        self.config = config
+        self.block_cache = block_cache
+        self.channel = channel
+        self.stats = ProxyStats()
+        # fh -> (parent dir fh, leaf name), learned from LOOKUP traffic;
+        # needed to find a file's meta-data in its directory.
+        self._names: Dict[FileHandle, Tuple[FileHandle, str]] = {}
+        # fh -> parsed metadata (None = known absent).
+        self._metadata: Dict[FileHandle, Optional[FileMetadata]] = {}
+        # fh -> in-progress channel fetch gate (concurrent READs wait).
+        self._fetching: Dict[FileHandle, object] = {}
+        # fh -> size as locally extended by absorbed writes.
+        self._local_size: Dict[FileHandle, int] = {}
+        # Observers of the incoming request stream (access profilers,
+        # middleware telemetry).  Called synchronously per request.
+        self.read_observers: List = []
+
+    # ------------------------------------------------------------------ utils
+    @property
+    def _write_back(self) -> bool:
+        return (self.config.cache is not None
+                and self.config.cache.policy is CachePolicy.WRITE_BACK)
+
+    def _bs(self) -> int:
+        return self.config.cache.block_size if self.config.cache else 8192
+
+    def _rewrite(self, request: NfsRequest) -> NfsRequest:
+        if self.config.identity is not None:
+            return request.replace(credentials=self.config.identity)
+        return request
+
+    def _forward(self, request: NfsRequest) -> Generator:
+        self.stats.forwarded += 1
+        reply = yield from self.upstream.call(request)
+        return reply
+
+    def _patched_attrs(self, fh: FileHandle,
+                       attrs: Optional[Fattr]) -> Optional[Fattr]:
+        """Adjust server attrs for size growth held in the write-back cache."""
+        if attrs is None:
+            return None
+        local = self._local_size.get(fh)
+        if local is not None and local > attrs.size:
+            from dataclasses import replace
+            return replace(attrs, size=local)
+        return attrs
+
+    # --------------------------------------------------------------- metadata
+    def _metadata_for(self, fh: FileHandle) -> Generator:
+        """Process: find (and cache) the meta-data associated with ``fh``."""
+        if not self.config.metadata:
+            return None
+        if fh in self._metadata:
+            return self._metadata[fh]
+        name_info = self._names.get(fh)
+        if name_info is None:
+            # Never saw a LOOKUP for this handle; cannot locate meta-data.
+            self._metadata[fh] = None
+            return None
+        dir_fh, name = name_info
+        if name.startswith(".") and name.endswith(METADATA_SUFFIX):
+            self._metadata[fh] = None
+            return None
+        look = yield from self.upstream.call(NfsRequest(
+            NfsProc.LOOKUP, fh=dir_fh, name=metadata_name_for(name)))
+        if not look.ok:
+            self._metadata[fh] = None
+            return None
+        raw = bytearray()
+        offset = 0
+        while True:
+            reply = yield from self.upstream.call(NfsRequest(
+                NfsProc.READ, fh=look.fh, offset=offset, count=self._bs()))
+            if not reply.ok or not reply.data:
+                break
+            raw += reply.data
+            offset += len(reply.data)
+            if reply.eof:
+                break
+        try:
+            meta = FileMetadata.from_bytes(bytes(raw))
+        except (ValueError, KeyError):
+            meta = None
+        self._metadata[fh] = meta
+        return meta
+
+    def _ensure_file_cached(self, fh: FileHandle) -> Generator:
+        """Process: run the file channel for ``fh`` exactly once."""
+        assert self.channel is not None
+        if fh in self.channel.file_cache:
+            return
+        gate = self._fetching.get(fh)
+        if gate is not None:
+            yield gate  # someone else is already fetching
+            return
+        gate = self.env.event()
+        self._fetching[fh] = gate
+        try:
+            yield from self.channel.fetch(fh)
+            self.stats.channel_fetches += 1
+        finally:
+            del self._fetching[fh]
+            gate.succeed()
+
+    # ----------------------------------------------------------------- handle
+    def handle(self, request: NfsRequest) -> Generator:
+        """Process: service one RPC call (the server face of the proxy)."""
+        self.stats.requests += 1
+        yield self.env.timeout(self.OP_CPU)
+        request = self._rewrite(request)
+        for observer in self.read_observers:
+            observer(request)
+        proc = request.proc
+
+        if proc is NfsProc.LOOKUP:
+            reply = yield from self._forward(request)
+            if reply.ok:
+                self._names[reply.fh] = (request.fh, request.name)
+                reply = self._patch_reply_attrs(reply)
+            return reply
+
+        if proc is NfsProc.GETATTR:
+            reply = yield from self._forward(request)
+            return self._patch_reply_attrs(reply) if reply.ok else reply
+
+        if proc is NfsProc.READ:
+            return (yield from self._handle_read(request))
+
+        if proc is NfsProc.WRITE:
+            return (yield from self._handle_write(request))
+
+        if proc is NfsProc.COMMIT:
+            if self._write_back and self.config.absorb_commits:
+                self.stats.absorbed_commits += 1
+                return NfsReply(proc, NfsStatus.OK, fh=request.fh)
+            reply = yield from self._forward(request)
+            return reply
+
+        # Namespace and everything else: pass through.
+        reply = yield from self._forward(request)
+        if reply.ok and proc is NfsProc.CREATE:
+            self._names[reply.fh] = (request.fh, request.name)
+        return reply
+
+    def _patch_reply_attrs(self, reply: NfsReply) -> NfsReply:
+        patched = self._patched_attrs(reply.fh, reply.attrs)
+        if patched is reply.attrs:
+            return reply
+        from dataclasses import replace
+        return replace(reply, attrs=patched)
+
+    # ------------------------------------------------------------------- READ
+    def _handle_read(self, request: NfsRequest) -> Generator:
+        fh, offset, count = request.fh, request.offset, request.count
+
+        meta = yield from self._metadata_for(fh)
+        if meta is not None:
+            # Zero-filled blocks: reconstruct locally, nothing on the wire.
+            if meta.covers_read(offset, count):
+                end = min(offset + count, max(meta.file_size,
+                                              self._local_size.get(fh, 0)))
+                n = max(end - offset, 0)
+                self.stats.zero_filtered_reads += 1
+                return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh,
+                                data=bytes(n), count=n,
+                                eof=offset + n >= meta.file_size)
+            # Whole-file channel: fetch once, then serve from file cache.
+            if meta.wants_file_channel and self.channel is not None:
+                yield from self._ensure_file_cached(fh)
+                data = yield from self.channel.file_cache.read(fh, offset, count)
+                if data is not None:
+                    self.stats.file_cache_reads += 1
+                    size = self.channel.file_cache.entry(fh).size
+                    return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh,
+                                    data=data, count=len(data),
+                                    eof=offset + len(data) >= size)
+
+        # File already in the file cache (e.g. after write-back install)?
+        if self.channel is not None and fh in self.channel.file_cache:
+            data = yield from self.channel.file_cache.read(fh, offset, count)
+            if data is not None:
+                self.stats.file_cache_reads += 1
+                size = self.channel.file_cache.entry(fh).size
+                return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh,
+                                data=data, count=len(data),
+                                eof=offset + len(data) >= size)
+
+        if self.block_cache is None:
+            return (yield from self._forward(request))
+
+        # Block-based disk cache path.  The kernel client issues
+        # block-aligned reads of the mount's rsize; requests that do not
+        # fit one frame are forwarded untouched.
+        bs = self._bs()
+        idx, within = divmod(offset, bs)
+        if within + count > bs:
+            return (yield from self._forward(request))
+        key = (fh, idx)
+        hit = yield from self.block_cache.lookup(key)
+        if hit is not None:
+            self.stats.block_cache_hits += 1
+            data = hit.data[within:within + count]
+            eof = len(hit.data) < bs and within + count >= len(hit.data)
+            return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh, data=data,
+                            count=len(data), eof=eof)
+        self.stats.block_cache_misses += 1
+        upstream_req = request.replace(offset=idx * bs, count=bs)
+        reply = yield from self._forward(upstream_req)
+        if not reply.ok:
+            return reply
+        victim = yield from self.block_cache.insert(key, reply.data, dirty=False)
+        if victim is not None:
+            yield from self._write_back_block(victim.key, victim.data)
+        data = reply.data[within:within + count]
+        eof = reply.eof and within + count >= len(reply.data)
+        return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh, data=data,
+                        count=len(data), eof=eof,
+                        attrs=self._patched_attrs(fh, reply.attrs))
+
+    # ------------------------------------------------------------------ WRITE
+    def _handle_write(self, request: NfsRequest) -> Generator:
+        fh, offset, data = request.fh, request.offset, request.data
+
+        # Writes to a file held in the file cache stay local (write-back
+        # of e.g. a checkpointed memory state), uploaded on flush.
+        if self.channel is not None and fh in self.channel.file_cache:
+            yield from self.channel.file_cache.write(fh, offset, data)
+            self.stats.absorbed_writes += 1
+            self._bump_local_size(fh, offset + len(data))
+            return NfsReply(NfsProc.WRITE, NfsStatus.OK, fh=fh, count=len(data))
+
+        if self.block_cache is None or self.block_cache.read_only:
+            # No cache, or a shared read-only cache (golden-image data
+            # only, §3.2.1): writes pass straight through.
+            return (yield from self._forward(request))
+
+        bs = self._bs()
+        idx, within = divmod(offset, bs)
+        if within + len(data) > bs:
+            return (yield from self._forward(request))
+        key = (fh, idx)
+
+        if not self._write_back:
+            # Write-through: server first, then refresh the cached copy.
+            reply = yield from self._forward(request)
+            if reply.ok:
+                yield from self._merge_into_cache(key, within, data)
+                self._bump_local_size(fh, offset + len(data))
+            return reply
+
+        # Write-back: absorb into the disk cache and acknowledge.
+        yield from self._merge_into_cache(key, within, data, dirty=True)
+        self.stats.absorbed_writes += 1
+        self._bump_local_size(fh, offset + len(data))
+        return NfsReply(NfsProc.WRITE, NfsStatus.OK, fh=fh, count=len(data))
+
+    def _bump_local_size(self, fh: FileHandle, end: int) -> None:
+        if end > self._local_size.get(fh, 0):
+            self._local_size[fh] = end
+
+    def _merge_into_cache(self, key, within: int, data: bytes,
+                          dirty: bool = False) -> Generator:
+        """Process: read-modify-write ``data`` into the cached block."""
+        fh, idx = key
+        bs = self._bs()
+        existing = yield from self.block_cache.lookup(key)
+        if existing is not None:
+            base = bytearray(existing.data)
+            dirty = dirty or existing.dirty
+        elif 0 < within or len(data) < bs:
+            # Partial block not yet cached: fetch it so the cache holds a
+            # complete frame for later reads/write-back (read-modify-write).
+            reply = yield from self.upstream.call(NfsRequest(
+                NfsProc.READ, fh=fh, offset=idx * bs, count=bs,
+                credentials=self.config.identity or (0, 0)))
+            base = bytearray(reply.data if reply.ok else b"")
+        else:
+            base = bytearray()
+        if len(base) < within + len(data):
+            base.extend(bytes(within + len(data) - len(base)))
+        base[within:within + len(data)] = data
+        victim = yield from self.block_cache.insert(key, bytes(base), dirty=dirty)
+        if victim is not None:
+            yield from self._write_back_block(victim.key, victim.data)
+
+    def _write_back_block(self, key, data: bytes) -> Generator:
+        """Process: push one dirty block upstream."""
+        fh, idx = key
+        reply = yield from self.upstream.call(NfsRequest(
+            NfsProc.WRITE, fh=fh, offset=idx * self._bs(), data=data,
+            stable=False, credentials=self.config.identity or (0, 0)))
+        reply.raise_for_status(f"write-back {fh} block {idx}")
+        self.stats.writebacks += 1
+
+    # -------------------------------------------------- middleware operations
+    def flush(self) -> Generator:
+        """Process: middleware-signalled write-back of all dirty state.
+
+        Pushes every dirty block upstream, COMMITs each touched file,
+        and uploads dirty file-cache entries through the channel — the
+        paper's session-end consistency point (O/S signal interface).
+        """
+        if self.block_cache is not None:
+            touched = set()
+            for key in self.block_cache.dirty_blocks():
+                data = yield from self.block_cache.read_for_writeback(key)
+                yield from self._write_back_block(key, data)
+                self.block_cache.mark_clean(key)
+                touched.add(key[0])
+            for fh in sorted(touched, key=lambda f: (f.fsid, f.fileid)):
+                reply = yield from self.upstream.call(NfsRequest(
+                    NfsProc.COMMIT, fh=fh))
+                reply.raise_for_status("flush commit")
+        if self.channel is not None:
+            for entry in self.channel.file_cache.dirty_entries():
+                yield from self.channel.upload(entry.fh)
+        yield self.env.timeout(0)
+
+    def dirty_state(self) -> Tuple[int, int]:
+        """(dirty blocks, dirty whole files) awaiting write-back."""
+        blocks = len(self.block_cache.dirty_blocks()) if self.block_cache else 0
+        files = len(self.channel.file_cache.dirty_entries()) if self.channel else 0
+        return blocks, files
+
+    def invalidate_caches(self) -> None:
+        """Cold-cache setup: drop cached blocks/files and learned metadata.
+
+        Dirty state must have been flushed first.
+        """
+        blocks, files = self.dirty_state()
+        if blocks or files:
+            raise RuntimeError("invalidate with dirty cached data; flush first")
+        if self.block_cache is not None:
+            self.block_cache.flush_tags()
+        if self.channel is not None:
+            self.channel.file_cache.clear()
+        self._metadata.clear()
+        self._local_size.clear()

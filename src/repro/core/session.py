@@ -1,0 +1,374 @@
+"""Per-session GVFS assembly: proxy chains for the paper's scenarios.
+
+§4.2.1 defines four execution scenarios, reproduced here:
+
+* **LOCAL** — VM state on the compute server's local disk (no NFS);
+* **LAN** — state NFS-mounted from the LAN image server, access
+  forwarded by GVFS proxies via SSH tunnels;
+* **WAN** — same across the WAN image server;
+* **WAN_CACHED** — WAN plus client-side proxy disk caching (WAN+C).
+
+A :class:`GvfsSession` is what middleware builds per user: kernel
+client -> (loopback) -> client proxy [caches] -> (SSH tunnel) -> server
+proxy [identity map] -> (loopback) -> kernel NFS server.  A
+:class:`SecondLevelCache` inserts a LAN caching proxy into that chain
+(the WAN-S3 cloning scenario).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.core.blockcache import ProxyBlockCache
+from repro.core.channel import CascadedFileChannel, FileChannel, RemoteFileLocator
+from repro.core.config import ProxyCacheConfig, ProxyConfig
+from repro.core.consistency import MiddlewareConsistency
+from repro.core.filecache import ProxyFileCache
+from repro.core.proxy import GvfsProxy
+from repro.net.ssh import ScpTransfer, SshTunnel
+from repro.net.topology import Host, Testbed
+from repro.nfs.client import MountOptions, NfsClient
+from repro.nfs.protocol import FileHandle
+from repro.nfs.rpc import LoopbackTransport, RpcClient
+from repro.nfs.server import NfsServer
+from repro.sim import Environment
+from repro.storage.localfs import LocalFileSystem
+from repro.storage.vfs import FsError, Inode
+
+__all__ = ["GvfsSession", "LocalFile", "LocalMount", "Scenario",
+           "SecondLevelCache", "ServerEndpoint"]
+
+_session_counter = itertools.count(1)
+
+
+class Scenario(enum.Enum):
+    """The four execution scenarios of §4.2.1."""
+
+    LOCAL = "Local"
+    LAN = "LAN"
+    WAN = "WAN"
+    WAN_CACHED = "WAN+C"
+
+
+# --------------------------------------------------------------------------
+# Local (no-NFS) mount adapter
+# --------------------------------------------------------------------------
+
+class LocalFile:
+    """Open file on a local filesystem, mirroring the NfsFile interface."""
+
+    def __init__(self, lfs: LocalFileSystem, inode: Inode):
+        self.env = lfs.env
+        self._lfs = lfs
+        self.inode = inode
+
+    @property
+    def size(self) -> int:
+        return self.inode.data.size
+
+    def read(self, offset: int, count: int) -> Generator:
+        data = yield from self._lfs.timed_read_inode(self.inode, offset, count)
+        return data
+
+    def read_all(self, chunk: int = 65536) -> Generator:
+        out = bytearray()
+        pos = 0
+        while pos < self.size:
+            data = yield from self.read(pos, chunk)
+            if not data:
+                break
+            out += data
+            pos += len(data)
+        return bytes(out)
+
+    def write(self, offset: int, data: bytes) -> Generator:
+        yield from self._lfs.timed_write_inode(self.inode, data, offset)
+
+    def write_sync(self, offset: int, data: bytes) -> Generator:
+        """Synchronous (O_SYNC) write: charged to the disk immediately."""
+        yield from self._lfs.timed_write_inode(self.inode, data, offset,
+                                               sync=True)
+
+    def truncate(self, new_size: int) -> Generator:
+        self.inode.data.truncate(new_size)
+        self.inode.touch()
+        yield self.env.timeout(0)
+
+    def close(self) -> Generator:
+        yield self.env.timeout(0)
+
+
+class LocalMount:
+    """Adapter exposing the MountedNfs surface over a local filesystem,
+    so VM monitors and workloads run unchanged in the LOCAL scenario."""
+
+    def __init__(self, lfs: LocalFileSystem):
+        self.env = lfs.env
+        self.lfs = lfs
+
+    def open(self, path: str) -> Generator:
+        inode = self.lfs.fs.lookup(path)
+        yield self.env.timeout(0)
+        return LocalFile(self.lfs, inode)
+
+    def create(self, path: str, exclusive: bool = True) -> Generator:
+        inode = self.lfs.fs.create(path, exclusive=exclusive)
+        yield self.env.timeout(0)
+        return LocalFile(self.lfs, inode)
+
+    def stat(self, path: str) -> Generator:
+        inode = self.lfs.fs.lookup(path)
+        yield self.env.timeout(0)
+        return inode
+
+    def mkdir(self, path: str) -> Generator:
+        self.lfs.fs.mkdir(path)
+        yield self.env.timeout(0)
+
+    def symlink(self, path: str, target: str) -> Generator:
+        self.lfs.fs.symlink(path, target)
+        yield self.env.timeout(0)
+
+    def readlink(self, path: str) -> Generator:
+        target = self.lfs.fs.readlink(path)
+        yield self.env.timeout(0)
+        return target
+
+    def remove(self, path: str) -> Generator:
+        self.lfs.fs.unlink(path)
+        yield self.env.timeout(0)
+
+    def rename(self, old: str, new: str) -> Generator:
+        self.lfs.fs.rename(old, new)
+        yield self.env.timeout(0)
+
+    def readdir(self, path: str) -> Generator:
+        names = self.lfs.fs.readdir(path)
+        yield self.env.timeout(0)
+        return names
+
+    def flush_all(self) -> Generator:
+        yield from self.lfs.sync()
+
+    def drop_caches(self) -> None:
+        self.lfs.drop_caches()
+
+
+# --------------------------------------------------------------------------
+# Server side
+# --------------------------------------------------------------------------
+
+class ServerEndpoint:
+    """The image-server side: kernel NFS server + server-side proxy.
+
+    The server-side proxy authenticates requests and maps identities to
+    a short-lived logical account (§3.1); it carries no caches.
+    """
+
+    def __init__(self, env: Environment, host: Host, fsid: str = "images",
+                 logical_identity=(1001, 1001)):
+        self.env = env
+        self.host = host
+        self.export = host.local
+        self.server = NfsServer(env, self.export, fsid=fsid)
+        loop = LoopbackTransport(env)
+        self.proxy = GvfsProxy(
+            env,
+            RpcClient(env, self.server, loop, loop, name=f"{fsid}.srvproxy"),
+            ProxyConfig(name=f"{host.name}.server-proxy", metadata=False,
+                        identity=logical_identity))
+
+    @property
+    def root_fh(self) -> FileHandle:
+        return self.server.root_fh
+
+    def resolve(self, fh: FileHandle) -> Inode:
+        """Out-of-band handle resolution for file channels (SCP source)."""
+        if fh.fsid != self.server.fsid:
+            raise FsError("ESTALE", f"foreign fsid {fh.fsid}")
+        return self.export.fs.get_inode(fh.fileid)
+
+
+# --------------------------------------------------------------------------
+# Second-level (LAN) caching proxy
+# --------------------------------------------------------------------------
+
+class SecondLevelCache:
+    """A caching GVFS proxy on a LAN server, shared by compute nodes.
+
+    "A second-level proxy cache can be setup on a LAN server ... to
+    further exploit the locality and provide high speed access to the
+    state of golden images" (§3.2.3).
+    """
+
+    def __init__(self, testbed: Testbed, endpoint: ServerEndpoint,
+                 cache_config: Optional[ProxyCacheConfig] = None,
+                 name: str = "second-level"):
+        env = testbed.env
+        self.env = env
+        self.testbed = testbed
+        self.endpoint = endpoint
+        self.host = testbed.lan_server
+        cache_config = cache_config or ProxyCacheConfig()
+        tunnel_out = SshTunnel(env, testbed.lan_server_route(),
+                               name=f"{name}.out")
+        tunnel_back = SshTunnel(env, testbed.lan_server_route_back(),
+                                name=f"{name}.back")
+        upstream = RpcClient(env, endpoint.proxy, tunnel_out, tunnel_back,
+                             name=f"{name}.rpc")
+        self.block_cache = ProxyBlockCache(env, self.host.local, cache_config,
+                                           name=f"{name}.blocks")
+        file_cache = ProxyFileCache(env, self.host.local,
+                                    name=f"{name}.files")
+        locator = RemoteFileLocator(resolve=endpoint.resolve,
+                                    server_host=endpoint.host,
+                                    server_fs=endpoint.export,
+                                    client_host=self.host)
+        scp = ScpTransfer(env, testbed.lan_server_route_back(),
+                          name=f"{name}.scp")
+        self.channel = FileChannel(env, locator, scp, file_cache)
+        self.proxy = GvfsProxy(env, upstream,
+                               ProxyConfig(name=name, cache=cache_config,
+                                           metadata=True),
+                               block_cache=self.block_cache,
+                               channel=self.channel)
+
+
+# --------------------------------------------------------------------------
+# The session
+# --------------------------------------------------------------------------
+
+@dataclass
+class GvfsSession:
+    """One user's GVFS session: the mount plus every interposed proxy."""
+
+    env: Environment
+    scenario: Scenario
+    mount: object                       # MountedNfs or LocalMount
+    compute_host: Host
+    endpoint: Optional[ServerEndpoint] = None
+    client_proxy: Optional[GvfsProxy] = None
+    consistency: Optional[MiddlewareConsistency] = None
+    nfs_client: Optional[NfsClient] = None
+
+    # -- middleware operations ------------------------------------------------
+    def flush(self) -> Generator:
+        """Process: force all session dirty state to the image server."""
+        yield self.env.process(self.mount.flush_all())
+        if self.client_proxy is not None:
+            yield self.env.process(self.client_proxy.flush())
+
+    def cold_caches(self) -> Generator:
+        """Process: the experiments' cold-cache setup — flush dirty
+        state, then unmount/mount (drop kernel caches) and flush the
+        proxy caches."""
+        yield self.env.process(self.flush())
+        self.mount.drop_caches()
+        if self.client_proxy is not None:
+            self.client_proxy.invalidate_caches()
+        self.compute_host.local.drop_caches()
+
+    # -- construction ------------------------------------------------------------
+    @classmethod
+    def build(cls, testbed: Testbed, scenario: Scenario,
+              endpoint: Optional[ServerEndpoint] = None,
+              compute_index: int = 0,
+              cache_config: Optional[ProxyCacheConfig] = None,
+              mount_options: Optional[MountOptions] = None,
+              metadata: bool = True,
+              via: Optional[SecondLevelCache] = None,
+              shared_block_cache: Optional[ProxyBlockCache] = None
+              ) -> "GvfsSession":
+        """Wire a session for ``scenario`` on compute node ``compute_index``.
+
+        ``endpoint`` names the image server side (defaults to the WAN
+        server for WAN scenarios, the LAN server for LAN).  ``via``
+        interposes a second-level LAN cache.  ``cache_config`` overrides
+        the client cache geometry for WAN_CACHED (defaults to §4.1's
+        512 banks / 16-way / 8 GB).  ``shared_block_cache`` lets several
+        sessions on one host share a read-only cache of golden-image
+        blocks (§3.2.1); the proxy then forwards writes upstream.
+        """
+        env = testbed.env
+        n = next(_session_counter)
+        compute = testbed.compute[compute_index]
+
+        if scenario is Scenario.LOCAL:
+            return cls(env=env, scenario=scenario,
+                       mount=LocalMount(compute.local), compute_host=compute)
+
+        if endpoint is None:
+            host = (testbed.lan_server if scenario is Scenario.LAN
+                    else testbed.wan_server)
+            endpoint = ServerEndpoint(env, host)
+
+        # Data channel routes for this session: follow the physical
+        # location of the next hop (a second-level cache or the image
+        # server itself), so an endpoint on the LAN server is reached
+        # over LAN links even in a WAN-named scenario (e.g. a user-data
+        # server co-located on the LAN).
+        if via is not None:
+            route_out = testbed.lan_route(compute_index)
+            route_back = testbed.lan_route_back(compute_index)
+            upstream_handler = via.proxy
+        elif endpoint.host is testbed.wan_server:
+            route_out = testbed.wan_route(compute_index)
+            route_back = testbed.wan_route_back(compute_index)
+            upstream_handler = endpoint.proxy
+        else:
+            route_out = testbed.lan_route(compute_index)
+            route_back = testbed.lan_route_back(compute_index)
+            upstream_handler = endpoint.proxy
+
+        tunnel_out = SshTunnel(env, route_out, name=f"s{n}.out")
+        tunnel_back = SshTunnel(env, route_back, name=f"s{n}.back")
+        upstream = RpcClient(env, upstream_handler, tunnel_out, tunnel_back,
+                             name=f"s{n}.rpc")
+
+        client_proxy = None
+        if scenario is Scenario.WAN_CACHED:
+            if shared_block_cache is not None:
+                cache_config = shared_block_cache.config
+                block_cache = shared_block_cache
+            else:
+                cache_config = cache_config or ProxyCacheConfig()
+                block_cache = ProxyBlockCache(env, compute.local,
+                                              cache_config,
+                                              name=f"s{n}.blocks")
+            file_cache = ProxyFileCache(env, compute.local, name=f"s{n}.files")
+            scp = ScpTransfer(env, route_back, name=f"s{n}.scp")
+            upload_scp = ScpTransfer(env, route_out, name=f"s{n}.scp-up")
+            if via is not None:
+                channel = CascadedFileChannel(
+                    env, via.channel, via.host, compute, scp, file_cache)
+            else:
+                locator = RemoteFileLocator(resolve=endpoint.resolve,
+                                            server_host=endpoint.host,
+                                            server_fs=endpoint.export,
+                                            client_host=compute)
+                channel = FileChannel(env, locator, scp, file_cache,
+                                      upload_scp=upload_scp)
+            client_proxy = GvfsProxy(
+                env, upstream,
+                ProxyConfig(name=f"s{n}.client-proxy", cache=cache_config,
+                            metadata=metadata),
+                block_cache=block_cache, channel=channel)
+            loop = LoopbackTransport(env)
+            mount_rpc = RpcClient(env, client_proxy, loop, loop,
+                                  name=f"s{n}.mount")
+        else:
+            # LAN / WAN without client caching: the kernel client talks
+            # through the tunnel straight to the server-side proxy.
+            mount_rpc = upstream
+
+        nfs_client = NfsClient(env, name=f"s{n}.client")
+        mount = nfs_client.mount("/gvfs", mount_rpc, endpoint.root_fh,
+                                 mount_options or MountOptions())
+        return cls(env=env, scenario=scenario, mount=mount,
+                   compute_host=compute, endpoint=endpoint,
+                   client_proxy=client_proxy,
+                   consistency=MiddlewareConsistency(env),
+                   nfs_client=nfs_client)

@@ -1,0 +1,30 @@
+"""Experiment drivers reproducing the paper's evaluation (§4).
+
+:mod:`~repro.experiments.appbench` runs the application benchmarks
+(Figures 3–5) inside a VM under each scenario;
+:mod:`~repro.experiments.clonebench` runs the cloning experiments
+(Figure 6, Table 1) including the SCP and pure-NFS comparators.
+"""
+
+from repro.experiments.appbench import AppBenchResult, run_application_benchmark
+from repro.experiments.clonebench import (
+    CloneBenchResult,
+    CloneScenario,
+    run_cloning_benchmark,
+    run_parallel_cloning,
+)
+from repro.experiments.persistent import (
+    PersistentVmResult,
+    run_persistent_vm_lifecycle,
+)
+
+__all__ = [
+    "AppBenchResult",
+    "CloneBenchResult",
+    "CloneScenario",
+    "PersistentVmResult",
+    "run_application_benchmark",
+    "run_cloning_benchmark",
+    "run_parallel_cloning",
+    "run_persistent_vm_lifecycle",
+]

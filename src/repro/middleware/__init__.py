@@ -1,0 +1,26 @@
+"""Grid middleware substrate (§2, §3.1).
+
+The pieces of the In-VIGO-style middleware that GVFS assumes: logical
+user accounts with short-lived identity allocation
+(:mod:`~repro.middleware.accounts`), a golden-image catalog with
+requirement matchmaking (:mod:`~repro.middleware.imageserver`), and the
+VM-session orchestrator that ties accounts, sessions, cloning and
+consistency signals together (:mod:`~repro.middleware.sessions`).
+"""
+
+from repro.middleware.accounts import AccountManager, LogicalAccount
+from repro.middleware.imageserver import ImageCatalog, ImageRequirements
+from repro.middleware.sessions import VmSessionManager, VmSession
+from repro.middleware.scheduler import Task, TaskResult, TaskScheduler
+
+__all__ = [
+    "AccountManager",
+    "ImageCatalog",
+    "ImageRequirements",
+    "LogicalAccount",
+    "Task",
+    "TaskResult",
+    "TaskScheduler",
+    "VmSession",
+    "VmSessionManager",
+]

@@ -1,0 +1,83 @@
+"""Logical user accounts and short-lived identities (§3.1).
+
+Grid users do not own Unix accounts on every resource; middleware keeps
+a pool of *logical accounts* per server and leases one to a user for
+the duration of a session ("dynamically map between short-lived user
+identities allocated by middleware on behalf of a user").  The
+server-side GVFS proxy then rewrites RPC credentials to the leased
+identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["AccountManager", "LogicalAccount"]
+
+
+@dataclass
+class LogicalAccount:
+    """One leasable Unix identity on a server."""
+
+    uid: int
+    gid: int
+    leased_to: Optional[str] = None
+    lease_expires: float = 0.0
+
+    @property
+    def credentials(self) -> Tuple[int, int]:
+        return (self.uid, self.gid)
+
+
+class AccountManager:
+    """Pool of logical accounts on one server."""
+
+    def __init__(self, env, base_uid: int = 2000, pool_size: int = 16,
+                 lease_seconds: float = 8 * 3600.0):
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.env = env
+        self.lease_seconds = lease_seconds
+        self._pool: List[LogicalAccount] = [
+            LogicalAccount(uid=base_uid + i, gid=base_uid + i)
+            for i in range(pool_size)]
+        self._by_user: Dict[str, LogicalAccount] = {}
+
+    def lease(self, grid_user: str) -> LogicalAccount:
+        """Lease an account to ``grid_user`` (idempotent while active)."""
+        existing = self._by_user.get(grid_user)
+        if existing is not None and existing.lease_expires > self.env.now:
+            existing.lease_expires = self.env.now + self.lease_seconds
+            return existing
+        self._expire()
+        for account in self._pool:
+            if account.leased_to is None:
+                account.leased_to = grid_user
+                account.lease_expires = self.env.now + self.lease_seconds
+                self._by_user[grid_user] = account
+                return account
+        raise RuntimeError("logical account pool exhausted")
+
+    def release(self, grid_user: str) -> None:
+        """End a lease (session teardown)."""
+        account = self._by_user.pop(grid_user, None)
+        if account is not None:
+            account.leased_to = None
+            account.lease_expires = 0.0
+
+    def _expire(self) -> None:
+        for account in self._pool:
+            if account.leased_to and account.lease_expires <= self.env.now:
+                self._by_user.pop(account.leased_to, None)
+                account.leased_to = None
+
+    def active_leases(self) -> int:
+        self._expire()
+        return sum(1 for a in self._pool if a.leased_to is not None)
+
+    def account_of(self, grid_user: str) -> Optional[LogicalAccount]:
+        account = self._by_user.get(grid_user)
+        if account is not None and account.lease_expires > self.env.now:
+            return account
+        return None

@@ -1,0 +1,108 @@
+"""Golden-image catalog and matchmaking (§3.2.3).
+
+"The image server stores a number of non-persistent VMs for the purpose
+of cloning.  These generic images have application-tailored hardware
+and software configurations, and when a VM is requested ... the image
+server is searched against the requirements of the desired VM.  The
+best match is returned as the golden image."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.storage.vfs import FileSystem
+from repro.vm.image import VmConfig, VmImage
+
+__all__ = ["ImageCatalog", "ImageRequirements"]
+
+
+@dataclass(frozen=True)
+class ImageRequirements:
+    """What a user's job needs from an execution environment."""
+
+    os_name: Optional[str] = None
+    min_memory_mb: int = 0
+    min_disk_gb: float = 0.0
+    applications: Sequence[str] = ()
+
+
+@dataclass
+class CatalogEntry:
+    image: VmImage
+    applications: tuple
+    clones_served: int = 0
+
+
+class ImageCatalog:
+    """The image server's registry of golden images."""
+
+    def __init__(self, fs: FileSystem, root: str = "/images"):
+        self.fs = fs
+        self.root = root.rstrip("/")
+        self._entries: Dict[str, CatalogEntry] = {}
+        if not fs.exists(self.root):
+            fs.mkdir(self.root, parents=True)
+
+    # -- registration ------------------------------------------------------
+    def register(self, name: str, config: VmConfig,
+                 applications: Sequence[str] = (),
+                 zero_fraction: float = 0.92,
+                 generate_metadata: bool = True) -> VmImage:
+        """Create and register a golden image (middleware archival)."""
+        if name in self._entries:
+            raise ValueError(f"image already registered: {name}")
+        image = VmImage.create(self.fs, f"{self.root}/{name}", config,
+                               zero_fraction=zero_fraction)
+        if generate_metadata:
+            image.generate_metadata()
+        self._entries[name] = CatalogEntry(image=image,
+                                           applications=tuple(applications))
+        return image
+
+    def register_existing(self, name: str,
+                          applications: Sequence[str] = ()) -> VmImage:
+        """Register an image already present on this server's disk
+        (e.g. archived by another middleware instance)."""
+        if name in self._entries:
+            raise ValueError(f"image already registered: {name}")
+        image = VmImage.load(self.fs, f"{self.root}/{name}")
+        self._entries[name] = CatalogEntry(image=image,
+                                           applications=tuple(applications))
+        return image
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def get(self, name: str) -> VmImage:
+        return self._entries[name].image
+
+    # -- matchmaking ----------------------------------------------------------
+    def _score(self, entry: CatalogEntry, req: ImageRequirements) -> Optional[int]:
+        cfg = entry.image.config
+        if req.os_name and cfg.os_name != req.os_name:
+            return None
+        if cfg.memory_mb < req.min_memory_mb:
+            return None
+        if cfg.disk_gb < req.min_disk_gb:
+            return None
+        if any(app not in entry.applications for app in req.applications):
+            return None
+        # Prefer the leanest image that satisfies the requirements
+        # (less state to transfer), breaking ties toward popular images
+        # (their state is more likely cached along the way).
+        return (-cfg.memory_mb * 1024 - int(cfg.disk_gb * 16)
+                + min(entry.clones_served, 64))
+
+    def best_match(self, req: ImageRequirements) -> VmImage:
+        """The golden image that best satisfies ``req``."""
+        best_name, best_score = None, None
+        for name in sorted(self._entries):
+            score = self._score(self._entries[name], req)
+            if score is not None and (best_score is None or score > best_score):
+                best_name, best_score = name, score
+        if best_name is None:
+            raise LookupError(f"no image satisfies {req}")
+        self._entries[best_name].clones_served += 1
+        return self._entries[best_name].image

@@ -1,0 +1,132 @@
+"""High-throughput task scheduling over VM sessions.
+
+§3.2.1 justifies middleware-driven consistency with schedulers that
+*know* tasks are independent: "it is sufficient to support many Grid
+applications, e.g. when tasks are known to be independent by a
+scheduler for high-throughput computing (e.g. as in Condor)".
+
+:class:`TaskScheduler` is that scheduler: it takes a bag of independent
+tasks (each a workload factory plus image requirements), fans them out
+across the testbed's compute servers — one VM session per task, bounded
+concurrency per node — and flushes each session's write-back state when
+its task completes.  Because tasks are independent, sessions never need
+coherence with each other; the write-back proxies run at full tilt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional
+
+from repro.middleware.imageserver import ImageRequirements
+from repro.middleware.sessions import VmSession, VmSessionManager
+from repro.sim import AllOf, Environment, FifoResource
+from repro.workloads.base import Workload, WorkloadResult
+
+__all__ = ["Task", "TaskResult", "TaskScheduler"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent unit of work."""
+
+    name: str
+    user: str
+    workload_factory: Callable[[], Workload]
+    requirements: ImageRequirements = ImageRequirements()
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one scheduled task."""
+
+    task: Task
+    compute_index: int
+    queued_seconds: float       # submission -> session creation started
+    instantiation_seconds: float  # session creation (clone + resume)
+    execution_seconds: float    # the workload itself
+    teardown_seconds: float     # flush + lease release
+    workload: Optional[WorkloadResult] = None
+
+    @property
+    def turnaround_seconds(self) -> float:
+        return (self.queued_seconds + self.instantiation_seconds
+                + self.execution_seconds + self.teardown_seconds)
+
+
+class TaskScheduler:
+    """Fan independent tasks out across compute servers."""
+
+    def __init__(self, middleware: VmSessionManager,
+                 slots_per_node: int = 1):
+        if slots_per_node < 1:
+            raise ValueError("slots_per_node must be >= 1")
+        self.middleware = middleware
+        self.env: Environment = middleware.env
+        self._slots = [
+            FifoResource(self.env, capacity=slots_per_node,
+                         name=f"sched.node{i}")
+            for i in range(len(middleware.testbed.compute))]
+        self.results: List[TaskResult] = []
+
+    def _least_loaded(self) -> int:
+        """Node with the shortest queue (ties to the lowest index)."""
+        return min(range(len(self._slots)),
+                   key=lambda i: (self._slots[i].count
+                                  + self._slots[i].queue_length, i))
+
+    def _run_task(self, task: Task, submitted: float) -> Generator:
+        node = self._least_loaded()
+        slot = self._slots[node].request()
+        yield slot
+        try:
+            queued = self.env.now - submitted
+            t0 = self.env.now
+            session: VmSession = yield self.env.process(
+                self.middleware.create_session(task.user, task.requirements,
+                                               compute_index=node))
+            instantiation = self.env.now - t0
+
+            t1 = self.env.now
+            workload = task.workload_factory()
+            if workload.guest_cache_bytes is not None and session.vm:
+                session.vm._guest_cache_capacity = max(
+                    workload.guest_cache_bytes // session.vm.block_size, 16)
+            result = yield self.env.process(workload.run(session.vm))
+            execution = self.env.now - t1
+
+            t2 = self.env.now
+            yield self.env.process(self.middleware.end_session(session))
+            teardown = self.env.now - t2
+
+            record = TaskResult(task=task, compute_index=node,
+                                queued_seconds=queued,
+                                instantiation_seconds=instantiation,
+                                execution_seconds=execution,
+                                teardown_seconds=teardown,
+                                workload=result)
+            self.results.append(record)
+            return record
+        finally:
+            self._slots[node].release(slot)
+
+    def run_batch(self, tasks: List[Task]) -> Generator:
+        """Process: run every task; returns results in completion order.
+
+        Tasks queue on node slots; with more tasks than slots the batch
+        naturally pipelines — while one task computes, the next node's
+        clone is already streaming in.
+        """
+        submitted = self.env.now
+        jobs = [self.env.process(self._run_task(task, submitted),
+                                 name=f"task.{task.name}")
+                for task in tasks]
+        outcomes = yield AllOf(self.env, jobs)
+        return list(outcomes)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Total wall time of the last finished batch (max turnaround)."""
+        if not self.results:
+            return 0.0
+        return max(r.turnaround_seconds for r in self.results)

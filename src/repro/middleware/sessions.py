@@ -1,0 +1,148 @@
+"""VM-session orchestration: the middleware loop of §2.
+
+Ties the substrate together the way In-VIGO does: a user asks for an
+execution environment; middleware leases a logical account, matches a
+golden image, builds a GVFS session to the image server, clones the
+image to a compute server, and hands back a live VM.  At session end it
+signals the proxies to write back (middleware-driven consistency) and
+releases the lease.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.core.consistency import ConsistencySignal, MiddlewareConsistency
+from repro.core.session import GvfsSession, LocalMount, Scenario, ServerEndpoint
+from repro.middleware.accounts import AccountManager, LogicalAccount
+from repro.middleware.imageserver import ImageCatalog, ImageRequirements
+from repro.net.topology import Testbed
+from repro.vm.cloning import CloneManager, CloneResult
+from repro.vm.image import VmImage
+from repro.vm.monitor import VirtualMachine, VmMonitor
+
+__all__ = ["VmSession", "VmSessionManager"]
+
+
+@dataclass
+class VmSession:
+    """One user's live VM session."""
+
+    user: str
+    account: LogicalAccount
+    image: VmImage
+    gvfs: GvfsSession
+    vm: Optional[VirtualMachine]
+    clone: CloneResult
+    compute_index: int
+    #: The user's data-server session (None if no data server is wired).
+    data_session: Optional[GvfsSession] = None
+    closed: bool = False
+
+
+class VmSessionManager:
+    """Middleware front door: create and tear down VM sessions.
+
+    When a ``data_endpoint`` is configured (Figure 1's data servers —
+    "data management for both virtual machine images and user file
+    systems"), each session also mounts the user's home directory from
+    the data server and attaches it inside the VM, as the In-VIGO
+    virtual workspace does (§2).
+    """
+
+    def __init__(self, testbed: Testbed,
+                 endpoint: Optional[ServerEndpoint] = None,
+                 scenario: Scenario = Scenario.WAN_CACHED,
+                 data_endpoint: Optional[ServerEndpoint] = None):
+        self.testbed = testbed
+        self.env = testbed.env
+        self.scenario = scenario
+        self.endpoint = endpoint or ServerEndpoint(self.env,
+                                                   testbed.wan_server)
+        self.data_endpoint = data_endpoint
+        self.catalog = ImageCatalog(self.endpoint.export.fs)
+        self.accounts = AccountManager(self.env)
+        self.consistency = MiddlewareConsistency(self.env)
+        self._next_compute = 0
+        self._session_seq = 0
+        self.sessions: List[VmSession] = []
+
+    def provision_user_home(self, user: str) -> str:
+        """Create the user's home tree on the data server (idempotent)."""
+        if self.data_endpoint is None:
+            raise RuntimeError("no data server configured")
+        home = f"/home/{user}"
+        fs = self.data_endpoint.export.fs
+        if not fs.exists(home):
+            fs.mkdir(home, parents=True)
+        return home
+
+    def _pick_compute(self) -> int:
+        index = self._next_compute % len(self.testbed.compute)
+        self._next_compute += 1
+        return index
+
+    def create_session(self, user: str, requirements: ImageRequirements,
+                       compute_index: Optional[int] = None) -> Generator:
+        """Process: build a complete session; returns :class:`VmSession`.
+
+        Steps: lease identity -> match golden image -> wire GVFS ->
+        clone -> resume.  The returned session's ``vm`` is live.
+        """
+        account = self.accounts.lease(user)
+        image = self.catalog.best_match(requirements)
+        index = (self._pick_compute() if compute_index is None
+                 else compute_index)
+        gvfs = GvfsSession.build(self.testbed, self.scenario,
+                                 endpoint=self.endpoint,
+                                 compute_index=index)
+        compute = self.testbed.compute[index]
+        monitor = VmMonitor(self.env, compute)
+        manager = CloneManager(self.env, monitor, gvfs.mount,
+                               LocalMount(compute.local))
+        self._session_seq += 1
+        clone_name = f"{user}-vm{self._session_seq}"
+        clone = yield self.env.process(manager.clone(
+            image.directory, f"/sessions/{clone_name}",
+            clone_name=clone_name))
+        data_session = None
+        if self.data_endpoint is not None and clone.vm is not None:
+            home = self.provision_user_home(user)
+            data_session = GvfsSession.build(
+                self.testbed, self.scenario, endpoint=self.data_endpoint,
+                compute_index=index)
+            clone.vm.attach_user_data(data_session.mount, home)
+        session = VmSession(user=user, account=account, image=image,
+                            gvfs=gvfs, vm=clone.vm, clone=clone,
+                            compute_index=index, data_session=data_session)
+        self.sessions.append(session)
+        return session
+
+    def end_session(self, session: VmSession) -> Generator:
+        """Process: flush session state and release the identity lease.
+
+        The consistency point is middleware-driven: dirty write-back
+        data (redo logs, user files) reaches the image server before
+        the lease is released.
+        """
+        if session.closed:
+            raise RuntimeError("session already closed")
+        yield self.env.process(session.gvfs.flush())
+        if session.data_session is not None:
+            yield self.env.process(session.data_session.flush())
+            if session.data_session.client_proxy is not None:
+                yield self.env.process(self.consistency.signal(
+                    session.data_session.client_proxy,
+                    ConsistencySignal.FLUSH))
+        if session.gvfs.client_proxy is not None:
+            yield self.env.process(self.consistency.signal(
+                session.gvfs.client_proxy, ConsistencySignal.FLUSH))
+        self.accounts.release(session.user)
+        if session.vm is not None:
+            session.vm.running = False
+        session.closed = True
+
+    @property
+    def active_sessions(self) -> int:
+        return sum(1 for s in self.sessions if not s.closed)

@@ -1,0 +1,29 @@
+"""Network substrate: links, routes, tunnels and file-transfer models.
+
+The paper's testbed connects compute servers to a LAN image server over
+100 Mbit/s Ethernet and to a WAN image server across Abilene
+(UF ↔ Northwestern).  This package reproduces the *timing behaviour* of
+those paths with a latency + bandwidth + FIFO-queueing link model, plus
+models for SSH-tunnelled channels (per-byte cipher cost) and SCP bulk
+transfers (TCP-window-limited over long fat pipes).
+"""
+
+from repro.net.link import Link, Route, duplex
+from repro.net.ssh import ScpTransfer, SshTunnel
+from repro.net.gridftp import GridFtpTransfer
+from repro.net.compress import CompressionModel, GZIP
+from repro.net.topology import NetworkConditions, Testbed, make_paper_testbed
+
+__all__ = [
+    "CompressionModel",
+    "GZIP",
+    "GridFtpTransfer",
+    "Link",
+    "NetworkConditions",
+    "Route",
+    "ScpTransfer",
+    "SshTunnel",
+    "Testbed",
+    "duplex",
+    "make_paper_testbed",
+]

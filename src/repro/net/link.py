@@ -1,0 +1,123 @@
+"""Point-to-point link and multi-hop route models.
+
+A :class:`Link` is unidirectional and owns a transmit resource: a
+message holds the transmitter for ``size / bandwidth`` seconds
+(serialization, where contention and queueing arise), then propagates
+for ``latency`` seconds without occupying the transmitter — so back-to-
+back messages pipeline exactly as they do on a real wire.
+
+A :class:`Route` is an ordered list of links crossed store-and-forward.
+Both expose ``transmit(nbytes)`` as a process generator::
+
+    yield env.process(route.transmit(32 * 1024))
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, List, Tuple
+
+from repro.sim import Environment, FifoResource
+
+__all__ = ["Link", "Route", "duplex"]
+
+#: Fixed per-message framing cost (Ethernet/IP/UDP/RPC headers), bytes.
+HEADER_BYTES = 160
+
+
+class Link:
+    """A unidirectional network link.
+
+    Parameters
+    ----------
+    latency:
+        One-way propagation delay in seconds.
+    bandwidth:
+        Serialization rate in bytes/second.
+    name:
+        Label used in stats and repr.
+    """
+
+    def __init__(self, env: Environment, latency: float, bandwidth: float,
+                 name: str = "link"):
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency}")
+        if bandwidth <= 0:
+            raise ValueError(f"non-positive bandwidth: {bandwidth}")
+        self.env = env
+        self.latency = float(latency)
+        self.bandwidth = float(bandwidth)
+        self.name = name
+        self._tx = FifoResource(env, capacity=1, name=f"{name}.tx")
+        # Statistics
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.busy_time = 0.0
+
+    def serialization_delay(self, nbytes: int) -> float:
+        """Time the transmitter is held for a message of ``nbytes``."""
+        return (nbytes + HEADER_BYTES) / self.bandwidth
+
+    def transmit(self, nbytes: int) -> Generator:
+        """Process: queue for the transmitter, serialize, propagate."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        req = self._tx.request()
+        yield req
+        try:
+            delay = self.serialization_delay(nbytes)
+            yield self.env.timeout(delay)
+            self.busy_time += delay
+        finally:
+            self._tx.release(req)
+        yield self.env.timeout(self.latency)
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+
+    @property
+    def queue_length(self) -> int:
+        """Messages currently waiting for the transmitter."""
+        return self._tx.queue_length
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Link {self.name}: {self.latency * 1e3:.3f} ms, "
+                f"{self.bandwidth / 1e6:.1f} MB/s>")
+
+
+class Route:
+    """An ordered multi-hop path; messages cross hops store-and-forward."""
+
+    def __init__(self, links: Iterable[Link], name: str = ""):
+        self.links: List[Link] = list(links)
+        if not self.links:
+            raise ValueError("route requires at least one link")
+        self.name = name or "+".join(l.name for l in self.links)
+        self.env = self.links[0].env
+
+    @property
+    def latency(self) -> float:
+        """End-to-end propagation delay (sum of hop latencies)."""
+        return sum(l.latency for l in self.links)
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        """Bandwidth of the slowest hop."""
+        return min(l.bandwidth for l in self.links)
+
+    def transmit(self, nbytes: int) -> Generator:
+        """Process: carry one message of ``nbytes`` across every hop."""
+        for link in self.links:
+            yield from link.transmit(nbytes)
+
+    def unloaded_transfer_time(self, nbytes: int) -> float:
+        """Analytic no-contention time for one message (for tests)."""
+        return sum(l.serialization_delay(nbytes) + l.latency for l in self.links)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Route {self.name}: {len(self.links)} hop(s)>"
+
+
+def duplex(env: Environment, latency: float, bandwidth: float,
+           name: str = "link") -> Tuple[Link, Link]:
+    """Build a full-duplex link as an independent (forward, reverse) pair."""
+    return (Link(env, latency, bandwidth, name=f"{name}.fwd"),
+            Link(env, latency, bandwidth, name=f"{name}.rev"))

@@ -1,0 +1,164 @@
+"""Hosts and the paper's experimental topology.
+
+The HPDC'04 testbed (§4.1):
+
+* **LAN image server** — dual 1.8 GHz PIII, 1 GB RAM, at UF.
+* **WAN image server** — dual 1 GHz PIII, 1 GB RAM, at Northwestern,
+  reached across Abilene.
+* **Compute servers** — UF cluster nodes (1.1 GHz PIII for the
+  application runs; quad 2.4 GHz Xeon for the cloning runs), 100 Mbit/s
+  Ethernet to the LAN image server.
+
+Calibration constants below are set once from era-accurate values
+(100 Mbit Ethernet; Abilene UF↔NWU one-way delay ~19 ms; 64 KiB TCP
+windows) and shared by *every* experiment — no per-figure tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.link import Route, duplex
+from repro.sim import Environment, FifoResource
+from repro.storage.disk import DiskParams, SCSI_2003
+from repro.storage.localfs import LocalFileSystem
+
+__all__ = ["Host", "NetworkConditions", "Testbed", "make_paper_testbed",
+           "LAN_2003", "WAN_2003"]
+
+
+@dataclass(frozen=True)
+class NetworkConditions:
+    """One-way latency (s) and raw bandwidth (bytes/s) of a path segment."""
+
+    latency: float
+    bandwidth: float
+
+
+#: 100 Mbit/s switched Ethernet, sub-millisecond one-way delay.
+LAN_2003 = NetworkConditions(latency=0.1e-3, bandwidth=12.5e6)
+
+#: Abilene path UF <-> Northwestern: ~38 ms RTT; the shared campus/
+#: backbone segment offers far more raw bandwidth than one 2003 TCP
+#: stream can use (per-stream throughput is window-limited instead).
+WAN_2003 = NetworkConditions(latency=18.8e-3, bandwidth=30e6)
+
+
+class Host:
+    """A machine: CPUs, a local disk/page-cache, and a name.
+
+    CPU capacity is a FIFO resource; compute phases of workloads and
+    CPU-bound pipeline stages (gzip) hold one CPU while they run so
+    co-located work contends realistically.
+    """
+
+    def __init__(self, env: Environment, name: str, cpus: int = 1,
+                 cpu_speed: float = 1.0,
+                 disk_params: DiskParams = SCSI_2003,
+                 page_cache_bytes: int = 512 * 1024 * 1024):
+        self.env = env
+        self.name = name
+        self.cpu_speed = float(cpu_speed)
+        self.cpu = FifoResource(env, capacity=cpus, name=f"{name}.cpu")
+        self.local = LocalFileSystem(env, name=f"{name}.local",
+                                     disk_params=disk_params,
+                                     page_cache_bytes=page_cache_bytes)
+
+    def compute(self, cpu_seconds: float):
+        """Process: hold one CPU for ``cpu_seconds`` (scaled by speed)."""
+        def _run():
+            req = self.cpu.request()
+            yield req
+            try:
+                yield self.env.timeout(cpu_seconds / self.cpu_speed)
+            finally:
+                self.cpu.release(req)
+        return self.env.process(_run(), name=f"{self.name}.compute")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.name}>"
+
+
+class Testbed:
+    """The wired-up testbed: hosts plus routes between them.
+
+    Routes are derived from per-host access links and shared segments,
+    so concurrent flows (e.g. eight parallel clonings) contend exactly
+    where the real topology would make them contend: on the image
+    server's access link and on endpoint CPUs.
+    """
+
+    __test__ = False  # not a pytest test class despite the Test* name
+
+    def __init__(self, env: Environment, n_compute: int = 1,
+                 lan: NetworkConditions = LAN_2003,
+                 wan: NetworkConditions = WAN_2003,
+                 compute_cpu_speed: float = 1.0,
+                 compute_page_cache_bytes: int = 512 * 1024 * 1024):
+        if n_compute < 1:
+            raise ValueError("need at least one compute server")
+        self.env = env
+        self.lan_conditions = lan
+        self.wan_conditions = wan
+
+        # Hosts. CPU speeds are relative to the 1.1 GHz PIII compute node.
+        self.compute: List[Host] = [
+            Host(env, f"compute{i}", cpus=4, cpu_speed=compute_cpu_speed,
+                 page_cache_bytes=compute_page_cache_bytes)
+            for i in range(n_compute)]
+        self.lan_server = Host(env, "lan-image-server", cpus=2, cpu_speed=1.6)
+        self.wan_server = Host(env, "wan-image-server", cpus=2, cpu_speed=0.9)
+
+        # Access links (full duplex pairs): one per compute node, one per
+        # image server; plus the shared WAN segment.
+        self._access: Dict[str, tuple] = {}
+        for host in [*self.compute, self.lan_server, self.wan_server]:
+            self._access[host.name] = duplex(
+                env, lan.latency, lan.bandwidth, name=f"{host.name}.eth")
+        self.wan_segment = duplex(env, wan.latency, wan.bandwidth, name="abilene")
+
+    # -- route construction -------------------------------------------------
+    def _route(self, src: Host, dst: Host, via_wan: bool) -> Route:
+        src_up, _ = self._access[src.name]
+        _, dst_down = self._access[dst.name]
+        hops = [src_up]
+        if via_wan:
+            # Forward direction of the shared segment is UF -> NWU.
+            hops.append(self.wan_segment[0] if dst is self.wan_server
+                        else self.wan_segment[1])
+        hops.append(dst_down)
+        return Route(hops, name=f"{src.name}->{dst.name}")
+
+    def lan_route(self, compute_index: int = 0) -> Route:
+        """Compute node → LAN image server."""
+        return self._route(self.compute[compute_index], self.lan_server, False)
+
+    def lan_route_back(self, compute_index: int = 0) -> Route:
+        """LAN image server → compute node."""
+        return self._route(self.lan_server, self.compute[compute_index], False)
+
+    def wan_route(self, compute_index: int = 0) -> Route:
+        """Compute node → WAN image server (across Abilene)."""
+        return self._route(self.compute[compute_index], self.wan_server, True)
+
+    def wan_route_back(self, compute_index: int = 0) -> Route:
+        """WAN image server → compute node."""
+        return self._route(self.wan_server, self.compute[compute_index], True)
+
+    def lan_server_route(self, to_wan: bool = True) -> Route:
+        """LAN image server → WAN image server (2nd-level cache fills)."""
+        return self._route(self.lan_server, self.wan_server, True)
+
+    def lan_server_route_back(self) -> Route:
+        return self._route(self.wan_server, self.lan_server, True)
+
+
+def make_paper_testbed(env: Optional[Environment] = None,
+                       n_compute: int = 1, **kwargs) -> Testbed:
+    """The testbed of §4.1 with the calibrated era constants.
+
+    ``kwargs`` forward to :class:`Testbed` (e.g. ``compute_cpu_speed``
+    for the quad-Xeon cloning nodes).
+    """
+    return Testbed(env or Environment(), n_compute=n_compute, **kwargs)

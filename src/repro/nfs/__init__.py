@@ -1,0 +1,55 @@
+"""NFS substrate: a userspace NFSv3-subset implementation.
+
+GVFS works by interposing user-level proxies on the NFS RPC path
+between unmodified kernel clients and servers.  This package provides
+both ends of that path: typed RPC request/reply messages
+(:mod:`~repro.nfs.protocol`), an RPC transport layer over simulated
+links and SSH tunnels (:mod:`~repro.nfs.rpc`), a server exporting a
+local filesystem (:mod:`~repro.nfs.server`), and a client with a
+kernel-style memory buffer cache (:mod:`~repro.nfs.client`).
+
+The proxy in :mod:`repro.core` speaks exactly this protocol, so the
+interception path matches the paper's architecture one-to-one.
+"""
+
+from repro.nfs.protocol import (
+    NFS_BLOCK_SIZE,
+    NFS_MAX_BLOCK_SIZE,
+    FileHandle,
+    Fattr,
+    NfsError,
+    NfsProc,
+    NfsReply,
+    NfsRequest,
+    NfsStatus,
+)
+from repro.nfs.rpc import (LoopbackTransport, RpcClient, RpcStats,
+                           RpcTimeout, Transport)
+from repro.nfs.server import NfsServer
+from repro.nfs.mountd import Export, MountDaemon, MountError
+from repro.nfs.buffercache import BufferCache
+from repro.nfs.client import MountedNfs, NfsClient
+
+__all__ = [
+    "BufferCache",
+    "Export",
+    "Fattr",
+    "FileHandle",
+    "LoopbackTransport",
+    "MountedNfs",
+    "NFS_BLOCK_SIZE",
+    "NFS_MAX_BLOCK_SIZE",
+    "NfsClient",
+    "NfsError",
+    "NfsProc",
+    "NfsReply",
+    "NfsRequest",
+    "NfsServer",
+    "MountDaemon",
+    "MountError",
+    "NfsStatus",
+    "RpcClient",
+    "RpcTimeout",
+    "RpcStats",
+    "Transport",
+]

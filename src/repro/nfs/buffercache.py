@@ -1,0 +1,137 @@
+"""Kernel-style NFS client memory buffer cache.
+
+Models the file-system buffer the paper calls out as insufficient for
+WAN VM workloads (§1: "buffer caches with limited storage capacity and
+write-through policies"): an LRU of fixed-size blocks with bounded
+capacity, plus a bounded pool of *dirty* blocks staged for write-back.
+Dirty blocks are pinned (never evicted) until the client's flusher has
+pushed them to the server.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.nfs.protocol import NFS_BLOCK_SIZE, FileHandle
+
+__all__ = ["BufferCache"]
+
+BlockKey = Tuple[FileHandle, int]
+
+
+class BufferCache:
+    """LRU block cache with dirty-block pinning.
+
+    Keys are ``(FileHandle, block_index)``; values are the real block
+    bytes, so cache hits return exactly what the server once sent (or
+    what a local writer staged).
+    """
+
+    def __init__(self, capacity_bytes: int = 64 * 1024 * 1024,
+                 block_size: int = NFS_BLOCK_SIZE):
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+        self.capacity_blocks = max(int(capacity_bytes) // block_size, 1)
+        self._blocks: OrderedDict[BlockKey, bytes] = OrderedDict()
+        self._dirty: Dict[BlockKey, bool] = {}
+        # Statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- inspection ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def dirty_blocks(self) -> int:
+        return len(self._dirty)
+
+    @property
+    def dirty_bytes(self) -> int:
+        return len(self._dirty) * self.block_size
+
+    def is_dirty(self, key: BlockKey) -> bool:
+        return key in self._dirty
+
+    # -- core operations -------------------------------------------------------
+    def get(self, key: BlockKey) -> Optional[bytes]:
+        """Return cached block data, refreshing LRU; None on miss."""
+        data = self._blocks.get(key)
+        if data is None:
+            self.misses += 1
+            return None
+        self._blocks.move_to_end(key)
+        self.hits += 1
+        return data
+
+    def peek(self, key: BlockKey) -> Optional[bytes]:
+        """Like :meth:`get` without touching LRU state or counters."""
+        return self._blocks.get(key)
+
+    def put_clean(self, key: BlockKey, data: bytes) -> None:
+        """Insert a block fetched from the server."""
+        if key in self._dirty:
+            # A racing fill must not clobber locally staged data.
+            return
+        self._blocks[key] = data
+        self._blocks.move_to_end(key)
+        self._evict_if_needed()
+
+    def put_dirty(self, key: BlockKey, data: bytes) -> None:
+        """Insert or update a locally written block (pinned until clean)."""
+        self._blocks[key] = data
+        self._blocks.move_to_end(key)
+        self._dirty[key] = True
+        self._evict_if_needed()
+
+    def mark_clean(self, key: BlockKey) -> None:
+        """Called by the flusher once a block is safely at the server."""
+        self._dirty.pop(key, None)
+
+    def _evict_if_needed(self) -> None:
+        # Evict oldest clean blocks; dirty blocks are pinned.  Walk from
+        # the LRU end only as far as needed (dirty prefixes are rare and
+        # bounded by the dirty limit), so inserts stay O(1) amortized.
+        while len(self._blocks) > self.capacity_blocks:
+            victim = None
+            for key in self._blocks:     # iteration order: oldest first
+                if key not in self._dirty:
+                    victim = key
+                    break
+            if victim is None:
+                break                    # everything pinned
+            del self._blocks[victim]
+            self.evictions += 1
+
+    # -- file-level operations ----------------------------------------------------
+    def dirty_keys_for(self, fh: FileHandle) -> List[BlockKey]:
+        """Dirty blocks of one file, in block order (flush on close)."""
+        keys = [k for k in self._dirty if k[0] == fh]
+        keys.sort(key=lambda k: k[1])
+        return keys
+
+    def any_dirty_key(self) -> Optional[BlockKey]:
+        """An arbitrary dirty block (background flusher pick)."""
+        for key in self._dirty:
+            return key
+        return None
+
+    def invalidate_file(self, fh: FileHandle) -> None:
+        """Drop all blocks of a file (open-time consistency mismatch).
+
+        Dirty blocks are dropped too — callers must flush first if the
+        staged data is wanted.
+        """
+        doomed = [k for k in self._blocks if k[0] == fh]
+        for key in doomed:
+            del self._blocks[key]
+        for key in [k for k in self._dirty if k[0] == fh]:
+            del self._dirty[key]
+
+    def clear(self) -> None:
+        """Drop everything (cold-cache experiment setup)."""
+        self._blocks.clear()
+        self._dirty.clear()

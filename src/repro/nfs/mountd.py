@@ -1,0 +1,124 @@
+"""The MOUNT protocol: export tables and mount authorization.
+
+Real NFS deployments gate file-handle bootstrap through ``mountd``: a
+client asks to mount an exported subtree and receives its root handle
+only if the export table authorizes it.  In GVFS this is the
+*kernel-level* access-control layer underneath the middleware's logical
+accounts (§3.1): exports on image servers are restricted to localhost
+(the server-side proxy), so the only WAN-visible door is the
+authenticated, identity-mapping proxy chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.nfs.server import NfsServer
+from repro.sim import Environment
+from repro.storage.vfs import FsError
+
+__all__ = ["Export", "MountDaemon", "MountError"]
+
+
+class MountError(Exception):
+    """Mount request refused (unknown export or unauthorized client)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+@dataclass(frozen=True)
+class Export:
+    """One exported subtree with its authorization list.
+
+    ``clients`` holds host names allowed to mount; ``"*"`` admits
+    everyone (the paper-era equivalent of an open lab export).
+    ``read_only`` refuses... nothing at mount time but is reported to
+    the client, which mounts accordingly.
+    """
+
+    path: str
+    clients: Tuple[str, ...] = ("localhost",)
+    read_only: bool = False
+
+    def admits(self, host: str) -> bool:
+        return "*" in self.clients or host in self.clients
+
+
+class MountDaemon:
+    """mountd for one NFS server."""
+
+    #: CPU cost of one mount transaction (portmap + auth + reply).
+    MOUNT_CPU = 300e-6
+
+    def __init__(self, env: Environment, server: NfsServer):
+        self.env = env
+        self.server = server
+        self._exports: Dict[str, Export] = {}
+        self._mounts: List[Tuple[str, str]] = []  # (host, export path)
+
+    # -- export table ---------------------------------------------------------
+    def add_export(self, path: str, clients: Sequence[str] = ("localhost",),
+                   read_only: bool = False) -> Export:
+        """Publish a subtree; the path must exist on the server."""
+        if not self.server.export.fs.exists(path):
+            raise MountError("ENOENT", f"no such directory: {path}")
+        node = self.server.export.fs.lookup(path)
+        if node.kind != "dir":
+            raise MountError("ENOTDIR", path)
+        export = Export(path=path, clients=tuple(clients),
+                        read_only=read_only)
+        self._exports[path] = export
+        return export
+
+    def remove_export(self, path: str) -> None:
+        if path not in self._exports:
+            raise MountError("ENOENT", f"not exported: {path}")
+        del self._exports[path]
+
+    def exports(self) -> List[Export]:
+        """The export list (what ``showmount -e`` prints)."""
+        return [self._exports[p] for p in sorted(self._exports)]
+
+    # -- the MNT procedure --------------------------------------------------------
+    def mount(self, host: str, path: str) -> Generator:
+        """Process: authorize ``host`` and hand out the subtree's root
+        file handle.  Raises :class:`MountError` on refusal."""
+        yield self.env.timeout(self.MOUNT_CPU)
+        export = self._best_export(path)
+        if export is None:
+            raise MountError("EACCES", f"not exported: {path}")
+        if not export.admits(host):
+            raise MountError("EACCES",
+                             f"host {host!r} not in export list of "
+                             f"{export.path}")
+        try:
+            node = self.server.export.fs.lookup(path)
+        except FsError as exc:
+            raise MountError("ENOENT", str(exc)) from None
+        self._mounts.append((host, export.path))
+        return self.server.fh_of(node)
+
+    def unmount(self, host: str, path: str) -> Generator:
+        """Process: record a UMNT."""
+        yield self.env.timeout(self.MOUNT_CPU / 3)
+        export = self._best_export(path)
+        key = (host, export.path if export else path)
+        if key in self._mounts:
+            self._mounts.remove(key)
+
+    def _best_export(self, path: str) -> Optional[Export]:
+        """Longest-prefix export covering ``path`` (subtree mounts)."""
+        best = None
+        for export_path, export in self._exports.items():
+            if path == export_path or path.startswith(export_path.rstrip("/")
+                                                      + "/"):
+                if best is None or len(export_path) > len(best.path):
+                    best = export
+        return best
+
+    def active_mounts(self) -> List[Tuple[str, str]]:
+        """(host, export) pairs currently mounted (``showmount -a``)."""
+        return list(self._mounts)

@@ -1,0 +1,230 @@
+"""NFSv3-subset wire protocol: handles, attributes, requests, replies.
+
+The subset covers every procedure the GVFS data path exercises —
+LOOKUP/GETATTR/READ/WRITE/CREATE/REMOVE/RENAME/READDIR/READLINK/
+SYMLINK/MKDIR/RMDIR/COMMIT — with enough fidelity (status codes, wire
+sizes, stable-write semantics) that proxies interposed on the RPC
+stream behave like the real user-level proxies of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "Fattr",
+    "FileHandle",
+    "NFS_BLOCK_SIZE",
+    "NFS_MAX_BLOCK_SIZE",
+    "NfsError",
+    "NfsProc",
+    "NfsReply",
+    "NfsRequest",
+    "NfsStatus",
+]
+
+#: Default rsize/wsize of era NFS mounts (and the paper's read counts:
+#: a 512 MB memory state file is 65,536 reads of 8 KB).
+NFS_BLOCK_SIZE = 8 * 1024
+
+#: Protocol limit quoted in the paper (§3.2.1): block sizes up to 32 KB.
+NFS_MAX_BLOCK_SIZE = 32 * 1024
+
+#: Wire overhead of one RPC message beyond its payload (XDR + RPC + auth).
+RPC_OVERHEAD_BYTES = 96
+
+
+class NfsProc(enum.Enum):
+    """Procedure numbers of the implemented NFSv3 subset."""
+
+    NULL = 0
+    GETATTR = 1
+    SETATTR = 2
+    LOOKUP = 3
+    READLINK = 5
+    READ = 6
+    WRITE = 7
+    CREATE = 8
+    MKDIR = 9
+    SYMLINK = 10
+    REMOVE = 12
+    RMDIR = 13
+    RENAME = 14
+    READDIR = 16
+    COMMIT = 21
+
+
+class NfsStatus(enum.Enum):
+    """NFSv3 status codes used by the subset."""
+
+    OK = 0
+    PERM = 1
+    NOENT = 2
+    IO = 5
+    ACCES = 13
+    EXIST = 17
+    NOTDIR = 20
+    ISDIR = 21
+    INVAL = 22
+    FBIG = 27
+    NOSPC = 28
+    ROFS = 30
+    NAMETOOLONG = 63
+    NOTEMPTY = 66
+    STALE = 70
+
+
+#: Mapping from VFS error codes to NFS status.
+FS_CODE_TO_STATUS = {
+    "ENOENT": NfsStatus.NOENT,
+    "EEXIST": NfsStatus.EXIST,
+    "ENOTDIR": NfsStatus.NOTDIR,
+    "EISDIR": NfsStatus.ISDIR,
+    "EINVAL": NfsStatus.INVAL,
+    "ENOTEMPTY": NfsStatus.NOTEMPTY,
+    "ESTALE": NfsStatus.STALE,
+    "ELOOP": NfsStatus.INVAL,
+}
+
+
+class NfsError(Exception):
+    """Raised by client-side helpers when a reply carries an error."""
+
+    def __init__(self, status: NfsStatus, context: str = ""):
+        super().__init__(f"NFS error {status.name}" + (f": {context}" if context else ""))
+        self.status = status
+
+
+class FileHandle:
+    """An opaque, persistent reference to a file object on a server.
+
+    ``fsid`` identifies the exported filesystem, ``fileid`` the inode.
+    Handles hash/compare by value, so caches can index on them exactly
+    as the GVFS proxy hashes NFS file handles.  The hash is precomputed:
+    handles key every block-cache and buffer-cache dictionary on the
+    data path, so hashing must be a field load, not a tuple build.
+    """
+
+    __slots__ = ("fsid", "fileid", "_hash")
+
+    def __init__(self, fsid: str, fileid: int):
+        object.__setattr__(self, "fsid", fsid)
+        object.__setattr__(self, "fileid", fileid)
+        object.__setattr__(self, "_hash", hash((fsid, fileid)))
+
+    def __setattr__(self, name, value):  # immutable, like the dataclass was
+        raise AttributeError("FileHandle is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, FileHandle) and self.fileid == other.fileid
+                and self.fsid == other.fsid)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FileHandle(fsid={self.fsid!r}, fileid={self.fileid!r})"
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"{self.fsid}:{self.fileid}"
+
+
+@dataclass(frozen=True)
+class Fattr:
+    """File attributes returned by GETATTR and piggybacked on replies."""
+
+    kind: str            # "file" | "dir" | "symlink"
+    size: int
+    fileid: int
+    mtime: float
+    mode: int = 0o644
+    uid: int = 0
+    gid: int = 0
+
+
+@dataclass(frozen=True)
+class NfsRequest:
+    """One NFS call.  Field usage depends on ``proc``.
+
+    * ``fh`` — target object (READ/WRITE/GETATTR/READLINK/READDIR/COMMIT)
+      or the *directory* for name-based procs (LOOKUP/CREATE/REMOVE/...).
+    * ``name`` — leaf name for name-based procs; new name source for RENAME.
+    * ``offset``/``count`` — READ/WRITE extent.
+    * ``data`` — WRITE payload (real bytes).
+    * ``target`` — SYMLINK target path.
+    * ``to_fh``/``to_name`` — RENAME destination directory and name.
+    * ``stable`` — WRITE stability: True requests synchronous commit.
+    * ``credentials`` — (uid, gid) of the caller; proxies remap these.
+    """
+
+    proc: NfsProc
+    fh: Optional[FileHandle] = None
+    name: Optional[str] = None
+    offset: int = 0
+    count: int = 0
+    data: bytes = b""
+    target: Optional[str] = None
+    to_fh: Optional[FileHandle] = None
+    to_name: Optional[str] = None
+    stable: bool = True
+    exclusive: bool = True              # CREATE mode (guarded vs unchecked)
+    size: Optional[int] = None          # SETATTR truncate size
+    credentials: Tuple[int, int] = (0, 0)
+
+    def wire_size(self) -> int:
+        """Bytes this call occupies on the wire."""
+        n = RPC_OVERHEAD_BYTES
+        if self.proc is NfsProc.WRITE:
+            n += len(self.data)
+        for s in (self.name, self.target, self.to_name):
+            if s:
+                n += len(s)
+        return n
+
+    def replace(self, **kwargs) -> "NfsRequest":
+        """A copy with some fields substituted (proxy rewriting)."""
+        from dataclasses import replace as _replace
+        return _replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class NfsReply:
+    """One NFS reply.
+
+    ``attrs`` carries post-op attributes (NFSv3 piggybacking); ``data``
+    carries READ payloads; ``fh``/``attrs`` carry LOOKUP/CREATE results;
+    ``entries`` carries READDIR listings; ``target`` READLINK results.
+    ``eof`` marks a READ that reached end of file.
+    """
+
+    proc: NfsProc
+    status: NfsStatus
+    fh: Optional[FileHandle] = None
+    attrs: Optional[Fattr] = None
+    data: bytes = b""
+    count: int = 0
+    eof: bool = False
+    target: Optional[str] = None
+    entries: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status is NfsStatus.OK
+
+    def wire_size(self) -> int:
+        """Bytes this reply occupies on the wire."""
+        n = RPC_OVERHEAD_BYTES
+        if self.proc is NfsProc.READ:
+            n += len(self.data)
+        if self.target:
+            n += len(self.target)
+        n += sum(len(e) + 8 for e in self.entries)
+        return n
+
+    def raise_for_status(self, context: str = "") -> "NfsReply":
+        """Return self when OK; raise :class:`NfsError` otherwise."""
+        if not self.ok:
+            raise NfsError(self.status, context)
+        return self

@@ -1,0 +1,147 @@
+"""RPC transport layer: moves NFS calls over links, tunnels or loopback.
+
+An :class:`RpcClient` binds a caller to any object implementing the
+handler protocol (``handle(request)`` as a simulation process returning
+a reply).  Both the kernel NFS server and every GVFS proxy are handlers,
+which is what lets proxies cascade: a proxy's ``handle`` may invoke its
+own upstream :class:`RpcClient`, exactly like the real user-level
+proxies that "behave both as a server (receiving RPC calls) and a
+client (issuing RPC calls)" (§3.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Protocol, runtime_checkable
+
+from repro.nfs.protocol import NfsReply, NfsRequest
+from repro.sim import AnyOf, Environment
+
+__all__ = ["LoopbackTransport", "RpcClient", "RpcHandler", "RpcStats",
+           "RpcTimeout", "Transport"]
+
+
+class RpcTimeout(Exception):
+    """All retransmissions of a call timed out (server unreachable)."""
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Anything that can carry a message of N bytes as a process."""
+
+    def transmit(self, nbytes: int) -> Generator: ...  # pragma: no cover
+
+
+@runtime_checkable
+class RpcHandler(Protocol):
+    """Anything that can service an NFS request as a process."""
+
+    def handle(self, request: NfsRequest) -> Generator: ...  # pragma: no cover
+
+
+class LoopbackTransport:
+    """Same-host RPC hop (kernel client <-> co-located user proxy).
+
+    Costs a constant per message: two context switches plus a copy.
+    """
+
+    def __init__(self, env: Environment, per_message: float = 30e-6,
+                 per_byte: float = 1 / 400e6):
+        self.env = env
+        self.per_message = per_message
+        self.per_byte = per_byte
+        self.messages = 0
+
+    def transmit(self, nbytes: int) -> Generator:
+        yield self.env.timeout(self.per_message + nbytes * self.per_byte)
+        self.messages += 1
+
+
+@dataclass
+class RpcStats:
+    """Counters kept by an :class:`RpcClient`."""
+
+    calls: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    time_waiting: float = 0.0
+    retransmissions: int = 0
+    by_proc: dict = field(default_factory=dict)
+
+    def record(self, request: NfsRequest, reply: NfsReply, elapsed: float) -> None:
+        self.calls += 1
+        self.bytes_sent += request.wire_size()
+        self.bytes_received += reply.wire_size()
+        self.time_waiting += elapsed
+        self.by_proc[request.proc.name] = self.by_proc.get(request.proc.name, 0) + 1
+
+
+class RpcClient:
+    """Issues NFS calls to a handler across a pair of transports.
+
+    Parameters
+    ----------
+    out, back:
+        Transports for the request and reply directions.  Pass the same
+        :class:`LoopbackTransport` twice for a same-host hop, or the two
+        directions of an SSH tunnel / route for a network hop.
+    handler:
+        The serving object (NFS server or proxy).
+    """
+
+    def __init__(self, env: Environment, handler: RpcHandler,
+                 out: Transport, back: Transport, name: str = "rpc",
+                 timeout: Optional[float] = None, max_retries: int = 3):
+        """``timeout``/``max_retries`` enable UDP-era retransmission: a
+        call unanswered within ``timeout`` seconds is reissued (NFS ops
+        are idempotent; real servers deduplicate via a request cache).
+        With ``timeout=None`` (the default) calls wait indefinitely."""
+        self.env = env
+        self.handler = handler
+        self.out = out
+        self.back = back
+        self.name = name
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.stats = RpcStats()
+
+    def _attempt(self, request: NfsRequest) -> Generator:
+        yield from self.out.transmit(request.wire_size())
+        reply = yield from self.handler.handle(request)
+        if not isinstance(reply, NfsReply):
+            raise TypeError(
+                f"handler {self.handler!r} returned {reply!r}, expected NfsReply")
+        yield from self.back.transmit(reply.wire_size())
+        return reply
+
+    def call(self, request: NfsRequest) -> Generator:
+        """Process: send ``request``, wait for service, return the reply.
+
+        With retransmission enabled, an unanswered attempt is abandoned
+        (its server-side effects still complete — idempotence) and the
+        call is reissued up to ``max_retries`` times.
+        """
+        start = self.env.now
+        if self.timeout is None:
+            reply = yield from self._attempt(request)
+            self.stats.record(request, reply, self.env.now - start)
+            return reply
+        attempts = 0
+        while True:
+            attempts += 1
+            attempt = self.env.process(self._attempt(request),
+                                       name=f"{self.name}.attempt")
+            timer = self.env.timeout(self.timeout, value=_TIMED_OUT)
+            outcome = yield AnyOf(self.env, [attempt, timer])
+            if outcome is not _TIMED_OUT:
+                self.stats.record(request, outcome, self.env.now - start)
+                return outcome
+            self.stats.retransmissions += 1
+            if attempts > self.max_retries:
+                raise RpcTimeout(
+                    f"{self.name}: {request.proc.name} unanswered after "
+                    f"{attempts} attempts x {self.timeout}s")
+
+
+#: Sentinel distinguishing a timer firing from a (possibly None) reply.
+_TIMED_OUT = object()

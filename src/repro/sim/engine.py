@@ -1,0 +1,383 @@
+"""Generator-based discrete-event simulation engine.
+
+The design follows the classic event-queue/process-coroutine structure
+(cf. SimPy) but is self-contained and minimal: an :class:`Environment`
+owns a heap of ``(time, seq, event)`` entries; a :class:`Process` wraps a
+generator that *yields* events and is resumed with the value of each
+event when it fires.
+
+Determinism: ties in time are broken by a monotonically increasing
+sequence number, so two runs of the same model produce identical
+schedules.  Nothing in the engine reads the wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for illegal engine operations (double trigger, bad yield...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupting cause is available as ``exc.cause``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "not yet set" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (``succeed``/``fail`` called, scheduled on the queue) and *processed*
+    (callbacks have run).  Waiting processes are resumed with the event's
+    value, or have its exception thrown into them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._processed = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (waiters resumed)."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded. Only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError("event not yet triggered")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception of the event."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; itself an event that fires when it returns.
+
+    The generator *yields* :class:`Event` instances.  When a yielded
+    event succeeds the generator is resumed with ``event.value``; when it
+    fails, the exception is thrown into the generator (so models can use
+    ordinary ``try/except``).  The generator's ``return`` value becomes
+    the process's event value.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name", "_failure_observed")
+
+    def __init__(self, env: "Environment", generator: Generator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._failure_observed = False
+        self.name = name or getattr(generator, "__name__", "process")
+        # Bootstrap: resume the process at the current simulation instant.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        The event the process was waiting on is abandoned (its callback
+        unregistered); the process decides how to recover.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        carrier = Event(self.env)
+        carrier.callbacks.append(self._resume)
+        carrier.fail(Interrupt(cause))
+
+    # -- internals ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.env._active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(
+                    event._value if event._value is not _PENDING else None)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}")
+            # Throw back into the generator so the traceback points home.
+            carrier = Event(self.env)
+            carrier.callbacks.append(self._resume)
+            carrier.fail(err)
+            return
+        if target.callbacks is None:
+            # Already processed: resume immediately with its settled value.
+            if isinstance(target, Process):
+                target._failure_observed = True
+            carrier = Event(self.env)
+            carrier.callbacks.append(self._resume)
+            if target._ok:
+                carrier.succeed(target._value)
+            else:
+                carrier.fail(target._value)
+            return
+        self._waiting_on = target
+        target.callbacks.append(self._resume)
+        if isinstance(target, Process):
+            # Someone is waiting on that process; its failure, if any,
+            # will be delivered rather than lost.
+            target._failure_observed = True
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if isinstance(ev, Process):
+                ev._failure_observed = True
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> list:
+        return [ev._value for ev in self.events if ev.triggered and ev._ok]
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired; value is all values.
+
+    If any constituent fails, the condition fails with that exception.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires as soon as one constituent fires; value is that event's value."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(event._value)
+
+
+class Environment:
+    """Holds simulated time and the pending-event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Register ``generator`` as a process starting at the current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event from the queue."""
+        if not self._queue:
+            raise SimulationError("step() on empty queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        event._run_callbacks()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Unhandled process failures propagate out of ``run`` so broken
+        models fail loudly rather than silently losing work.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            when, _, event = heapq.heappop(self._queue)
+            self._now = when
+            event._run_callbacks()
+            if (isinstance(event, Process) and not event._ok
+                    and not event._failure_observed):
+                # A failed process nobody was waiting on: a model bug.
+                # Fail loudly instead of silently losing the exception.
+                raise event._value
+        if until is not None:
+            self._now = until

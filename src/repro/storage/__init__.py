@@ -1,0 +1,31 @@
+"""Local storage substrate: disk timing, sparse files, POSIX-ish VFS.
+
+Everything GVFS serves ultimately lives in a :class:`~repro.storage.vfs.
+FileSystem` — an in-memory inode/directory tree whose file contents are
+held sparsely (explicit chunks over an implicit zero/generator fill),
+so multi-gigabyte VM images cost only their touched bytes.  The
+:class:`~repro.storage.disk.Disk` model charges era-accurate seek and
+transfer time; :class:`~repro.storage.localfs.LocalFileSystem` binds the
+two together for timed access from simulation processes.
+"""
+
+from repro.storage.disk import Disk, DiskParams, SCSI_2003, IDE_2003
+from repro.storage.vfs import (
+    FileSystem,
+    FsError,
+    Inode,
+    SparseFile,
+)
+from repro.storage.localfs import LocalFileSystem
+
+__all__ = [
+    "Disk",
+    "DiskParams",
+    "FileSystem",
+    "FsError",
+    "IDE_2003",
+    "Inode",
+    "LocalFileSystem",
+    "SCSI_2003",
+    "SparseFile",
+]

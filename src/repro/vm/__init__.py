@@ -1,0 +1,39 @@
+"""Virtual machine substrate: images, monitor, redo logs, cloning.
+
+The paper's evaluation runs VMware GSX VMs whose state lives in regular
+files — a memory state file (``.vmss``) and a virtual disk (``.vmdk``)
+— served through GVFS.  This package reproduces that layer: realistic
+image generation (zero-rich memory state, partially populated virtual
+disk with a small working set), a monitor whose *resume* reads the
+whole memory state and whose guests issue virtual-disk block I/O, redo
+logs for non-persistent disks, and the §4.3 cloning procedure.
+"""
+
+from repro.vm.image import (
+    GuestFile,
+    RandomContent,
+    VmConfig,
+    VmImage,
+    make_memory_state,
+    make_virtual_disk,
+)
+from repro.vm.monitor import VirtualMachine, VmMonitor
+from repro.vm.redolog import RedoLog
+from repro.vm.cloning import CloneManager, CloneResult
+from repro.vm.migration import MigrationManager, MigrationResult
+
+__all__ = [
+    "CloneManager",
+    "CloneResult",
+    "MigrationManager",
+    "MigrationResult",
+    "GuestFile",
+    "RandomContent",
+    "RedoLog",
+    "VirtualMachine",
+    "VmConfig",
+    "VmImage",
+    "VmMonitor",
+    "make_memory_state",
+    "make_virtual_disk",
+]

@@ -1,0 +1,53 @@
+"""Application workload models (§4.2.1).
+
+Each benchmark is expressed as phases of guest-level work — computation
+on the VM's vCPU, reads/writes of guest files that the VM maps onto its
+virtual disk — so a workload runs *inside* the VM model and its I/O
+flows through whichever GVFS scenario the VM was instantiated on.
+
+The three benchmarks reproduce the paper's suite:
+
+* :class:`~repro.workloads.specseis.SpecSeis` — 4-phase seismic
+  processing, I/O-intensive (phase 1 creates a large trace file) and
+  compute-intensive (phase 4);
+* :class:`~repro.workloads.latex.LatexBenchmark` — 20 interactive
+  edit/compile iterations of a 190-page document;
+* :class:`~repro.workloads.kernelcompile.KernelCompile` — the 4-step
+  Red Hat 2.4.18 build, many-small-file reads and writes.
+"""
+
+from repro.workloads.base import (
+    ComputeStep,
+    Phase,
+    PhaseResult,
+    ReadStep,
+    Workload,
+    WorkloadResult,
+    WriteStep,
+)
+from repro.workloads.specseis import SpecSeis
+from repro.workloads.latex import LatexBenchmark
+from repro.workloads.kernelcompile import KernelCompile
+from repro.workloads.traces import (
+    IoTrace,
+    TraceEvent,
+    TraceRecorder,
+    trace_to_workload,
+)
+
+__all__ = [
+    "ComputeStep",
+    "IoTrace",
+    "KernelCompile",
+    "LatexBenchmark",
+    "Phase",
+    "PhaseResult",
+    "ReadStep",
+    "SpecSeis",
+    "TraceEvent",
+    "TraceRecorder",
+    "Workload",
+    "WorkloadResult",
+    "WriteStep",
+    "trace_to_workload",
+]

@@ -1,0 +1,119 @@
+"""Workload framework: phases of typed steps replayed inside a VM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Sequence, Union
+
+from repro.vm.image import GuestFile
+from repro.vm.monitor import VirtualMachine
+
+__all__ = [
+    "ComputeStep",
+    "Phase",
+    "PhaseResult",
+    "ReadStep",
+    "Step",
+    "Workload",
+    "WorkloadResult",
+    "WriteStep",
+]
+
+
+@dataclass(frozen=True)
+class ComputeStep:
+    """Burn guest CPU for ``seconds`` (at reference-host speed)."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ReadStep:
+    """Read a prefix ``fraction`` of ``gfile`` from the guest."""
+
+    gfile: GuestFile
+    fraction: float = 1.0
+
+
+@dataclass(frozen=True)
+class WriteStep:
+    """Write a prefix ``fraction`` of ``gfile`` from the guest."""
+
+    gfile: GuestFile
+    fraction: float = 1.0
+
+
+Step = Union[ComputeStep, ReadStep, WriteStep]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A named list of steps timed as one unit (a figure's bar segment)."""
+
+    name: str
+    steps: Sequence[Step]
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    name: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    workload: str
+    phases: List[PhaseResult]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases)
+
+    def phase_seconds(self, name: str) -> float:
+        for p in self.phases:
+            if p.name == name:
+                return p.seconds
+        raise KeyError(name)
+
+
+class Workload:
+    """A replayable benchmark: an ordered list of phases.
+
+    ``guest_cache_bytes`` caps the VM's usable page cache while this
+    workload runs: applications with large resident sets (compilers)
+    squeeze the guest's page cache, pushing re-reads out of the VM and
+    onto the (proxy-cacheable) file system path — the effect behind
+    Figure 5's warm-run WAN/WAN+C divergence.
+    """
+
+    def __init__(self, name: str, phases: Sequence[Phase],
+                 guest_cache_bytes: int = None):
+        self.name = name
+        self.phases = list(phases)
+        self.guest_cache_bytes = guest_cache_bytes
+
+    def run(self, vm: VirtualMachine) -> Generator:
+        """Process: execute every phase in ``vm``; returns WorkloadResult."""
+        results: List[PhaseResult] = []
+        for phase in self.phases:
+            start = vm.env.now
+            for step in phase.steps:
+                yield vm.env.process(self._execute(vm, step))
+            results.append(PhaseResult(phase.name, vm.env.now - start))
+        return WorkloadResult(self.name, results)
+
+    def _execute(self, vm: VirtualMachine, step: Step) -> Generator:
+        if isinstance(step, ComputeStep):
+            yield vm.compute(step.seconds)
+        elif isinstance(step, ReadStep):
+            yield vm.env.process(vm.read_guest_file(step.gfile, step.fraction))
+        elif isinstance(step, WriteStep):
+            yield vm.env.process(vm.write_guest_file(step.gfile, step.fraction))
+        else:
+            raise TypeError(f"unknown step type: {step!r}")
+
+    @property
+    def total_compute_seconds(self) -> float:
+        """Pure-CPU lower bound (for sanity checks in tests)."""
+        return sum(s.seconds for p in self.phases for s in p.steps
+                   if isinstance(s, ComputeStep))

@@ -1,0 +1,88 @@
+"""Kernel compilation benchmark (§4.2.1).
+
+"Represents file system usage in a software development environment,
+similar to the Andrew benchmark.  The kernel is a Red Hat Linux 2.4.18,
+and the compilation consists of four major steps, 'make dep', 'make
+bzImage', 'make modules' and 'make modules_install', which involve
+substantial reads and writes on a large number of files."
+
+The model spreads the source tree over many guest files so the
+many-small-file open/stat pattern (LOOKUP/GETATTR storms over the WAN)
+and the source-read + object-write mix both appear.  Two consecutive
+runs reproduce Figure 5's cold/warm pair: the second run's reads come
+mostly from the guest page cache, leaving write traffic and attribute
+revalidation as the remaining overhead.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.vm.image import GuestFile
+from repro.workloads.base import ComputeStep, Phase, ReadStep, Workload, WriteStep
+
+__all__ = ["KernelCompile"]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+class KernelCompile(Workload):
+    """The 4-step Red Hat 2.4.18 kernel build."""
+
+    #: Number of modelled source groups (the real tree's ~10k files are
+    #: grouped into compilation units to keep step counts tractable
+    #: while preserving the bytes moved and the open/stat pattern).
+    SOURCE_GROUPS = 160
+    GROUP_BYTES = 1 * MB          # ~160 MB of source + headers read
+    OBJECT_GROUPS = 120
+    OBJECT_BYTES = 512 * KB       # ~60 MB of objects written
+
+    def __init__(self):
+        sources = [GuestFile(f"usr/src/linux/group{i:03d}", self.GROUP_BYTES)
+                   for i in range(self.SOURCE_GROUPS)]
+        objects = [GuestFile(f"usr/src/linux/obj{i:03d}.o", self.OBJECT_BYTES)
+                   for i in range(self.OBJECT_GROUPS)]
+        modules = [GuestFile(f"usr/src/linux/mod{i:03d}.o", self.OBJECT_BYTES)
+                   for i in range(self.OBJECT_GROUPS // 2)]
+        installed = [GuestFile(f"lib/modules/2.4.18/m{i:03d}.o",
+                               self.OBJECT_BYTES)
+                     for i in range(self.OBJECT_GROUPS // 2)]
+
+        dep_steps: List = []
+        for src in sources:
+            dep_steps.append(ReadStep(src, fraction=0.5))  # header scanning
+            dep_steps.append(ComputeStep(0.6))
+        dep_steps.append(WriteStep(GuestFile("usr/src/linux/.depend", 4 * MB)))
+
+        bzimage_steps: List = []
+        for i, src in enumerate(sources[: self.SOURCE_GROUPS // 2]):
+            bzimage_steps.append(ReadStep(src))
+            bzimage_steps.append(ComputeStep(9.0))
+            if i % 2 == 0:
+                bzimage_steps.append(WriteStep(objects[i // 2]))
+        bzimage_steps.append(WriteStep(GuestFile("usr/src/linux/bzImage",
+                                                 1 * MB)))
+
+        modules_steps: List = []
+        for i, src in enumerate(sources[self.SOURCE_GROUPS // 2:]):
+            modules_steps.append(ReadStep(src))
+            modules_steps.append(ComputeStep(8.0))
+            if i % 2 == 0:
+                modules_steps.append(WriteStep(modules[i // 2 % len(modules)]))
+
+        install_steps: List = []
+        for i, mod in enumerate(modules):
+            install_steps.append(ReadStep(mod))
+            install_steps.append(WriteStep(installed[i]))
+            install_steps.append(ComputeStep(0.4))
+
+        # Compiler processes are memory-hungry: little guest RAM is left
+        # for page cache, so cross-run re-reads leave the VM and hit the
+        # (proxy-cacheable) distributed file system.
+        super().__init__("kernel-compile", [
+            Phase("make dep", dep_steps),
+            Phase("make bzImage", bzimage_steps),
+            Phase("make modules", modules_steps),
+            Phase("make modules_install", install_steps),
+        ], guest_cache_bytes=48 * MB)

@@ -1,0 +1,66 @@
+"""SPECseis96 model (§4.2.1).
+
+"It consists of four phases, where the first phase generates a large
+trace file on disk, and the last phase involves intensive seismic
+processing computations. ... It models a scientific application that is
+both I/O intensive and compute intensive."  Run sequentially with the
+small dataset on a 1.1 GHz PIII-class node.
+
+Phase structure (sizes for the *small* dataset, CPU at the reference
+node's speed):
+
+1. data generation — writes the large trace file (dominated by write
+   bandwidth; this is where write-back caching wins a factor ~2);
+2. stacking — reads the trace once, moderate CPU, small outputs;
+3. time migration — re-reads part of the trace, moderate CPU;
+4. depth migration — intensive computation, negligible I/O (within
+   10 % across all scenarios in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.vm.image import GuestFile
+from repro.workloads.base import ComputeStep, Phase, ReadStep, Workload, WriteStep
+
+__all__ = ["SpecSeis"]
+
+MB = 1024 * 1024
+
+
+class SpecSeis(Workload):
+    """The 4-phase SPECseis96 benchmark (sequential, small dataset)."""
+
+    #: The large trace file phase 1 creates and later phases consume.
+    TRACE_BYTES = 60 * MB
+    #: Static input dataset read by phase 1.
+    INPUT_BYTES = 40 * MB
+
+    def __init__(self):
+        trace = GuestFile("specseis/trace.data", self.TRACE_BYTES)
+        stack = GuestFile("specseis/stack.out", 12 * MB)
+        migrate = GuestFile("specseis/migrate.out", 10 * MB)
+        inputs = GuestFile("specseis/input.geo", self.INPUT_BYTES)
+        final = GuestFile("specseis/depth.out", 6 * MB)
+        super().__init__("SPECseis96", [
+            Phase("phase1", [
+                ReadStep(inputs),
+                ComputeStep(95.0),
+                WriteStep(trace),
+            ]),
+            Phase("phase2", [
+                ReadStep(trace, fraction=0.6),
+                ComputeStep(130.0),
+                WriteStep(stack),
+            ]),
+            Phase("phase3", [
+                ReadStep(trace, fraction=0.4),
+                ReadStep(stack),
+                ComputeStep(160.0),
+                WriteStep(migrate),
+            ]),
+            Phase("phase4", [
+                ReadStep(migrate),
+                ComputeStep(430.0),
+                WriteStep(final),
+            ]),
+        ], guest_cache_bytes=128 * MB)  # solver arrays squeeze the cache

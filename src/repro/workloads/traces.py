@@ -1,0 +1,137 @@
+"""Guest I/O trace recording and replay.
+
+Middleware that wants to "accumulate knowledge for applications from
+their past behaviors" (§3.2.2) needs a record of what an application
+actually did.  :class:`TraceRecorder` wraps a running VM and records
+every guest-level operation (file reads/writes with their sizes,
+compute bursts); the resulting :class:`IoTrace` serializes to bytes and
+replays as an ordinary :class:`~repro.workloads.base.Workload`, so a
+captured session can be re-run under any scenario — e.g. to evaluate a
+cache configuration against a real workload without re-running the
+application.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Generator, List
+
+from repro.vm.image import GuestFile
+from repro.vm.monitor import VirtualMachine
+from repro.workloads.base import (
+    ComputeStep,
+    Phase,
+    ReadStep,
+    Workload,
+    WriteStep,
+)
+
+__all__ = ["IoTrace", "TraceEvent", "TraceRecorder", "trace_to_workload"]
+
+_MAGIC = "GVFS-TRACE-1"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded guest operation."""
+
+    kind: str                 # "read" | "write" | "compute"
+    name: str = ""            # guest file name (read/write)
+    size: int = 0             # guest file size in bytes (read/write)
+    fraction: float = 1.0     # prefix fraction accessed
+    seconds: float = 0.0      # CPU time (compute)
+
+
+@dataclass
+class IoTrace:
+    """An ordered trace of guest operations."""
+
+    application: str
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    def bytes_read(self) -> int:
+        return sum(int(e.size * e.fraction) for e in self.events
+                   if e.kind == "read")
+
+    def bytes_written(self) -> int:
+        return sum(int(e.size * e.fraction) for e in self.events
+                   if e.kind == "write")
+
+    def compute_seconds(self) -> float:
+        return sum(e.seconds for e in self.events if e.kind == "compute")
+
+    # -- serialization -----------------------------------------------------
+    def to_bytes(self) -> bytes:
+        doc = {"application": self.application,
+               "events": [[e.kind, e.name, e.size, e.fraction, e.seconds]
+                          for e in self.events]}
+        return (_MAGIC + "\n" + json.dumps(doc, separators=(",", ":"))).encode()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "IoTrace":
+        text = raw.decode()
+        magic, _, body = text.partition("\n")
+        if magic != _MAGIC:
+            raise ValueError(f"bad trace magic: {magic!r}")
+        doc = json.loads(body)
+        return cls(application=doc["application"],
+                   events=[TraceEvent(kind=k, name=n, size=s, fraction=f,
+                                      seconds=c)
+                           for k, n, s, f, c in doc["events"]])
+
+
+class TraceRecorder:
+    """A recording wrapper with the VirtualMachine guest-I/O surface.
+
+    Run a workload against the recorder instead of the bare VM; every
+    operation is recorded *and* forwarded, so timing is unchanged.
+    """
+
+    def __init__(self, vm: VirtualMachine, application: str):
+        self.vm = vm
+        self.env = vm.env
+        self.trace = IoTrace(application=application)
+
+    # The workload framework only touches these four members.
+    @property
+    def host(self):
+        return self.vm.host
+
+    def read_guest_file(self, gf: GuestFile,
+                        fraction: float = 1.0) -> Generator:
+        self.trace.events.append(TraceEvent("read", gf.name, gf.size,
+                                            fraction))
+        yield from self.vm.read_guest_file(gf, fraction)
+
+    def write_guest_file(self, gf: GuestFile, fraction: float = 1.0,
+                         sync: bool = False) -> Generator:
+        self.trace.events.append(TraceEvent("write", gf.name, gf.size,
+                                            fraction))
+        yield from self.vm.write_guest_file(gf, fraction, sync)
+
+    def compute(self, cpu_seconds: float):
+        self.trace.events.append(TraceEvent("compute", seconds=cpu_seconds))
+        return self.vm.compute(cpu_seconds)
+
+
+def trace_to_workload(trace: IoTrace, phase_name: str = "replay") -> Workload:
+    """Convert a recorded trace into a replayable workload."""
+    steps = []
+    for event in trace.events:
+        if event.kind == "read":
+            steps.append(ReadStep(GuestFile(event.name, event.size),
+                                  event.fraction))
+        elif event.kind == "write":
+            steps.append(WriteStep(GuestFile(event.name, event.size),
+                                   event.fraction))
+        elif event.kind == "compute":
+            steps.append(ComputeStep(event.seconds))
+        else:
+            raise ValueError(f"unknown trace event kind: {event.kind!r}")
+    return Workload(f"{trace.application}-replay",
+                    [Phase(phase_name, steps)])

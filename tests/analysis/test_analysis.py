@@ -1,0 +1,117 @@
+"""Tests for statistics helpers and table renderers."""
+
+import pytest
+
+from repro.analysis.stats import geometric_mean, overhead, speedup
+from repro.analysis.tables import (
+    format_duration,
+    format_figure3,
+    format_figure4,
+    format_figure6,
+    format_table1,
+)
+from repro.core.session import Scenario
+from repro.experiments.appbench import AppBenchResult
+from repro.experiments.clonebench import CloneBenchResult
+from repro.workloads.base import PhaseResult, WorkloadResult
+
+
+def test_speedup_and_overhead():
+    assert speedup(10, 2) == pytest.approx(5.0)
+    assert overhead(10, 13) == pytest.approx(0.3)
+    with pytest.raises(ValueError):
+        speedup(10, 0)
+    with pytest.raises(ValueError):
+        overhead(0, 5)
+
+
+def test_geometric_mean():
+    assert geometric_mean([2, 8]) == pytest.approx(4.0)
+    assert geometric_mean([5]) == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1, -1])
+
+
+def test_format_duration():
+    assert format_duration(0) == "0:00"
+    assert format_duration(61) == "1:01"
+    assert format_duration(3600) == "1:00h"
+    assert format_duration(5400) == "1:30h"
+
+
+def fake_app_result(scenario, phase_times, runs=1):
+    result = AppBenchResult(scenario=scenario, workload="w")
+    for _ in range(runs):
+        result.runs.append(WorkloadResult("w", [
+            PhaseResult(name, t) for name, t in phase_times]))
+    return result
+
+
+def test_format_figure3_contains_phases_and_totals():
+    results = {
+        "Local": fake_app_result(Scenario.LOCAL,
+                                 [("phase1", 60), ("phase2", 120)]),
+        "WAN": fake_app_result(Scenario.WAN,
+                               [("phase1", 600), ("phase2", 120)]),
+    }
+    table = format_figure3(results)
+    assert "phase1" in table and "total" in table
+    assert "1:00" in table and "10:00" in table
+    assert "Local" in table and "WAN" in table
+
+
+def test_format_figure4_metrics_and_notes():
+    phases = [(f"iter{i:02d}", 10.0 if i else 100.0) for i in range(5)]
+    results = {"WAN+C": fake_app_result(Scenario.WAN_CACHED, phases)}
+    results["WAN+C"].flush_seconds = 42.0
+    table = format_figure4(results, staging_download=1000,
+                           staging_upload=2000)
+    assert "first iteration" in table
+    assert "100.00" in table
+    assert "42.0" in table
+    assert "2818" in table  # the paper reference appears in the note
+    assert "1000 s" in table
+
+
+def test_format_figure6_with_baselines():
+    results = {
+        "WAN-S1": CloneBenchResult("WAN-S1", clone_seconds=[86.0, 20.0]),
+        "Local": CloneBenchResult("Local", clone_seconds=[36.0]),
+    }
+    table = format_figure6(results, scp_seconds=1209, purenfs_seconds=1648)
+    assert "86.0" in table
+    assert "-" in table         # missing clone #2 for Local
+    assert "1127" in table      # paper reference
+    assert "1209 s" in table
+
+
+def test_format_table1_speedups():
+    table = format_table1(691.2, 163.6, 204.5, 20.4)
+    assert "3.38x" in table
+    assert "8.02x" in table or "8.0" in table
+
+
+def test_clone_result_total_prefers_wall_clock():
+    seq = CloneBenchResult("s", clone_seconds=[10, 20])
+    assert seq.total_seconds == 30
+    par = CloneBenchResult("p", clone_seconds=[10, 20], wall_seconds=12)
+    assert par.total_seconds == 12
+
+
+def test_format_figure5_two_run_blocks():
+    from repro.analysis.tables import format_figure5
+    results = {
+        "Local": fake_app_result(Scenario.LOCAL,
+                                 [("make dep", 100), ("make bzImage", 700)],
+                                 runs=2),
+        "WAN+C": fake_app_result(Scenario.WAN_CACHED,
+                                 [("make dep", 500), ("make bzImage", 900)],
+                                 runs=2),
+    }
+    table = format_figure5(results)
+    assert "first run (cold caches)" in table
+    assert "second run (warm caches)" in table
+    assert "make dep" in table
+    assert table.count("total") == 2

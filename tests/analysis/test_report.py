@@ -1,0 +1,63 @@
+"""Tests for reproduction-report assembly."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import SECTIONS, assemble_report
+
+
+def test_assemble_from_partial_results(tmp_path):
+    (tmp_path / "fig3_specseis.txt").write_text("FIG3 TABLE\n")
+    (tmp_path / "table1_parallel.txt").write_text("TABLE1\n")
+    report = assemble_report(tmp_path)
+    assert "FIG3 TABLE" in report.text
+    assert "TABLE1" in report.text
+    assert "MISSING" in report.text
+    assert not report.complete
+    assert "fig3_specseis" in report.present
+    assert "fig4_latex" in report.missing
+
+
+def test_assemble_complete(tmp_path):
+    for name, _ in SECTIONS:
+        (tmp_path / f"{name}.txt").write_text(f"table {name}\n")
+    report = assemble_report(tmp_path)
+    assert report.complete
+    assert "MISSING" not in report.text
+    # Sections appear in the canonical order.
+    positions = [report.text.index(f"table {name}") for name, _ in SECTIONS]
+    assert positions == sorted(positions)
+
+
+def test_assemble_empty_dir(tmp_path):
+    report = assemble_report(tmp_path)
+    assert not report.present
+    assert len(report.missing) == len(SECTIONS)
+
+
+def test_cli_report_command(tmp_path, capsys):
+    from repro.cli import main
+    for name, _ in SECTIONS:
+        (tmp_path / f"{name}.txt").write_text(f"table {name}\n")
+    assert main(["report", "--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "GVFS reproduction report" in out
+
+
+def test_cli_report_flags_missing(tmp_path, capsys):
+    assert main_with(tmp_path) == 1
+
+
+def main_with(tmp_path):
+    from repro.cli import main
+    return main(["report", "--results-dir", str(tmp_path / "empty")])
+
+
+def test_repo_results_dir_report_if_present():
+    """If the repo's results/ exists (benchmarks ran), the report builds."""
+    results = pathlib.Path(__file__).resolve().parents[2] / "results"
+    if not results.exists():
+        pytest.skip("benchmarks not run yet")
+    report = assemble_report(results)
+    assert report.present  # at least something archived

@@ -1,0 +1,102 @@
+"""Tests for the SCP, pure-NFS and staging comparators."""
+
+import pytest
+
+from repro.baselines.purenfs import PureNfsCloneBaseline
+from repro.baselines.scp import ScpCloneBaseline
+from repro.baselines.staging import StagingBaseline
+from repro.net.topology import Testbed
+from repro.sim import Environment
+from repro.vm.image import VmConfig, VmImage
+
+
+def make_rig(image_mb=2):
+    testbed = Testbed(Environment(), n_compute=1)
+    cfg = VmConfig(name="g", memory_mb=image_mb, disk_gb=0.01, seed=31)
+    image = VmImage.create(testbed.wan_server.local.fs, "/images/g", cfg)
+    return testbed, image
+
+
+def run(env, gen):
+    box = {}
+
+    def wrapper(env):
+        box["value"] = yield env.process(gen)
+
+    env.process(wrapper(env))
+    env.run()
+    return box["value"]
+
+
+def test_scp_clone_transfers_whole_image():
+    testbed, image = make_rig()
+    baseline = ScpCloneBaseline(testbed)
+    result = run(testbed.env, baseline.clone(image, "/clones/scp1"))
+    assert result.transfer_seconds > 0
+    assert result.resume_seconds > 0
+    # Everything was replicated locally, disk included.
+    local = testbed.compute[0].local.fs
+    assert local.lookup("/clones/scp1/disk.vmdk").size == image.config.disk_bytes
+    assert (local.read("/clones/scp1/mem.vmss")
+            == image.memory_inode.data.read(0, image.config.memory_bytes))
+
+
+def test_scp_transfer_time_scales_with_state_size():
+    testbed2, small = make_rig(image_mb=2)
+    testbed8, big = make_rig(image_mb=64)
+    t_small = run(testbed2.env, ScpCloneBaseline(testbed2).clone(
+        small, "/c", resume=False)).transfer_seconds
+    t_big = run(testbed8.env, ScpCloneBaseline(testbed8).clone(
+        big, "/c", resume=False)).transfer_seconds
+    assert t_big > t_small
+
+
+def test_scp_full_size_image_near_paper_number():
+    """A 320 MB + 1.6 GB image takes ~19 min over the calibrated WAN."""
+    testbed = Testbed(Environment(), n_compute=1)
+    cfg = VmConfig(name="g", memory_mb=320, disk_gb=1.6, seed=31)
+    image = VmImage.create(testbed.wan_server.local.fs, "/images/g", cfg)
+    baseline = ScpCloneBaseline(testbed)
+    t = baseline.scp.transfer_time(image.total_state_bytes)
+    assert 900 < t < 1400  # paper: 1127 s
+
+
+def test_purenfs_clone_runs_off_the_mount():
+    testbed, image = make_rig()
+    from repro.nfs.server import NfsServer
+    server = NfsServer(testbed.env, testbed.wan_server.local, fsid="raw")
+    baseline = PureNfsCloneBaseline(testbed, server)
+    result = run(testbed.env, baseline.clone("/images/g"))
+    assert result.total_seconds > 0
+
+
+def test_purenfs_slower_than_scp_for_full_image():
+    """Per-block WAN reads lose to one streamed SCP (paper: 2060 vs 1127)."""
+    testbed, image = make_rig(image_mb=8)
+    from repro.nfs.server import NfsServer
+    server = NfsServer(testbed.env, testbed.wan_server.local, fsid="raw")
+    nfs_result = run(testbed.env,
+                     PureNfsCloneBaseline(testbed, server).clone("/images/g"))
+    testbed2, image2 = make_rig(image_mb=8)
+    scp_result = run(testbed2.env, ScpCloneBaseline(testbed2).clone(
+        image2, "/clones/s", resume=False))
+    # Compare data-movement time for the same memory state: NFS pays a
+    # round trip per 8 KB; SCP pays the disk-size stream. For a small
+    # image (disk tiny) per-block NFS is far slower per byte.
+    per_byte_nfs = nfs_result.total_seconds / image.config.memory_bytes
+    per_byte_scp = scp_result.transfer_seconds / image2.total_state_bytes
+    assert per_byte_nfs > 2 * per_byte_scp
+
+
+def test_staging_download_upload_asymmetric():
+    testbed, image = make_rig(image_mb=16)
+    baseline = StagingBaseline(testbed)
+    result = run(testbed.env, baseline.session(image))
+    assert result.download_seconds > 0
+    assert result.upload_seconds > result.download_seconds
+
+
+def test_staging_moves_whole_state_regardless_of_use():
+    testbed, image = make_rig()
+    baseline = StagingBaseline(testbed)
+    assert baseline.state_bytes(image) == image.total_state_bytes

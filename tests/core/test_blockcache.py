@@ -1,0 +1,226 @@
+"""Unit tests for the proxy block cache (banks/frames/sets, §3.2.1)."""
+
+import pytest
+
+from repro.core.blockcache import ProxyBlockCache
+from repro.core.config import CachePolicy, ProxyCacheConfig
+from repro.nfs.protocol import FileHandle
+from repro.sim import Environment
+from repro.storage.localfs import LocalFileSystem
+
+
+def make_cache(**kwargs):
+    env = Environment()
+    storage = LocalFileSystem(env, name="proxyhost")
+    defaults = dict(capacity_bytes=64 * 8192, n_banks=4, associativity=2,
+                    block_size=8192)
+    defaults.update(kwargs)
+    config = ProxyCacheConfig(**defaults)
+    return env, ProxyBlockCache(env, storage, config)
+
+
+def run(env, gen):
+    box = {}
+
+    def wrapper(env):
+        box["value"] = yield env.process(gen)
+
+    env.process(wrapper(env))
+    env.run()
+    return box["value"]
+
+
+FH = FileHandle("img", 42)
+FH2 = FileHandle("img", 43)
+
+
+def test_miss_then_hit():
+    env, cache = make_cache()
+    assert run(env, cache.lookup((FH, 0))) is None
+    run(env, cache.insert((FH, 0), b"block-zero"))
+    hit = run(env, cache.lookup((FH, 0)))
+    assert hit is not None
+    assert hit.data == b"block-zero"
+    assert not hit.dirty
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_insert_replaces_same_key():
+    env, cache = make_cache()
+    run(env, cache.insert((FH, 5), b"v1"))
+    run(env, cache.insert((FH, 5), b"v2"))
+    assert run(env, cache.lookup((FH, 5))).data == b"v2"
+    assert cache.cached_blocks == 1
+
+
+def test_distinct_files_do_not_collide_logically():
+    env, cache = make_cache()
+    run(env, cache.insert((FH, 0), b"A"))
+    run(env, cache.insert((FH2, 0), b"B"))
+    assert run(env, cache.lookup((FH, 0))).data == b"A"
+    assert run(env, cache.lookup((FH2, 0))).data == b"B"
+
+
+def test_consecutive_blocks_map_to_consecutive_sets():
+    env, cache = make_cache()
+    sets = cache.config.sets_per_bank
+    bank0, set0 = cache._index((FH, 0))
+    bank1, set1 = cache._index((FH, 1))
+    assert bank0 == bank1  # same group -> same bank
+    assert set1 == (set0 + 1) % sets or set1 == set0 + 1
+
+
+def test_set_eviction_is_lru():
+    env, cache = make_cache(capacity_bytes=4 * 2 * 8192, n_banks=4,
+                            associativity=2)
+    # sets_per_bank == 1: all blocks of one group share a 2-way set.
+    assert cache.config.sets_per_bank == 1
+    keys = [(FH, 0), (FH2, 0), (FileHandle("img", 44), 0)]
+    # Find three keys that land in the same bank set.
+    same = [k for k in [(FileHandle("img", i), 0) for i in range(100)]
+            if cache._index(k) == cache._index((FileHandle("img", 0), 0))]
+    a, b, c = same[:3]
+    run(env, cache.insert(a, b"a"))
+    run(env, cache.insert(b, b"b"))
+    run(env, cache.lookup(a))          # touch a: b becomes LRU
+    run(env, cache.insert(c, b"c"))    # evicts b
+    assert run(env, cache.lookup(a)) is not None
+    assert run(env, cache.lookup(b)) is None
+    assert run(env, cache.lookup(c)) is not None
+    assert cache.evictions == 1
+
+
+def test_dirty_eviction_returns_victim():
+    env, cache = make_cache(capacity_bytes=4 * 2 * 8192, n_banks=4,
+                            associativity=2)
+    same = [k for k in [(FileHandle("img", i), 0) for i in range(100)]
+            if cache._index(k) == cache._index((FileHandle("img", 0), 0))]
+    a, b, c = same[:3]
+    run(env, cache.insert(a, b"dirty-a", dirty=True))
+    run(env, cache.insert(b, b"clean-b"))
+    victim = run(env, cache.insert(c, b"c"))
+    assert victim is not None
+    assert victim.key == a
+    assert victim.data == b"dirty-a"
+    assert victim.dirty
+
+
+def test_clean_eviction_returns_none():
+    env, cache = make_cache(capacity_bytes=4 * 2 * 8192, n_banks=4,
+                            associativity=2)
+    same = [k for k in [(FileHandle("img", i), 0) for i in range(100)]
+            if cache._index(k) == cache._index((FileHandle("img", 0), 0))]
+    a, b, c = same[:3]
+    run(env, cache.insert(a, b"a"))
+    run(env, cache.insert(b, b"b"))
+    assert run(env, cache.insert(c, b"c")) is None
+
+
+def test_dirty_tracking_and_mark_clean():
+    env, cache = make_cache()
+    run(env, cache.insert((FH, 1), b"d1", dirty=True))
+    run(env, cache.insert((FH, 2), b"d2", dirty=True))
+    run(env, cache.insert((FH2, 1), b"d3", dirty=True))
+    run(env, cache.insert((FH, 3), b"clean"))
+    assert cache.dirty_blocks(FH) == [(FH, 1), (FH, 2)]
+    assert len(cache.dirty_blocks()) == 3
+    cache.mark_clean((FH, 1))
+    assert cache.dirty_blocks(FH) == [(FH, 2)]
+
+
+def test_read_for_writeback():
+    env, cache = make_cache()
+    run(env, cache.insert((FH, 9), b"payload", dirty=True))
+    data = run(env, cache.read_for_writeback((FH, 9)))
+    assert data == b"payload"
+    with pytest.raises(KeyError):
+        run(env, cache.read_for_writeback((FH, 10)))
+
+
+def test_short_block_length_preserved():
+    env, cache = make_cache()
+    run(env, cache.insert((FH, 0), b"xy"))
+    assert run(env, cache.lookup((FH, 0))).data == b"xy"
+
+
+def test_oversized_block_rejected():
+    env, cache = make_cache()
+    with pytest.raises(ValueError):
+        run(env, cache.insert((FH, 0), b"z" * 8193))
+
+
+def test_read_only_cache_rejects_dirty():
+    env = Environment()
+    storage = LocalFileSystem(env)
+    cache = ProxyBlockCache(env, storage, ProxyCacheConfig(
+        capacity_bytes=64 * 8192, n_banks=4, associativity=2), read_only=True)
+    run(env, cache.insert((FH, 0), b"ro"))  # clean insert fine
+    with pytest.raises(PermissionError):
+        run(env, cache.insert((FH, 1), b"w", dirty=True))
+
+
+def test_flush_tags_empties_cache():
+    env, cache = make_cache()
+    run(env, cache.insert((FH, 0), b"a"))
+    run(env, cache.insert((FH, 1), b"b"))
+    cache.flush_tags()
+    assert cache.cached_blocks == 0
+    assert run(env, cache.lookup((FH, 0))) is None
+
+
+def test_banks_created_on_demand():
+    env, cache = make_cache()
+    assert cache.banks_created == 0
+    run(env, cache.insert((FH, 0), b"x"))
+    assert cache.banks_created == 1
+
+
+def test_bank_files_exist_on_proxy_disk():
+    env, cache = make_cache()
+    run(env, cache.insert((FH, 0), b"on-disk"))
+    bank_files = cache.storage.fs.readdir("/proxycache")
+    assert len(bank_files) == 1
+    assert bank_files[0].startswith("bank")
+
+
+def test_paper_default_geometry():
+    cfg = ProxyCacheConfig()
+    assert cfg.n_banks == 512
+    assert cfg.associativity == 16
+    assert cfg.capacity_bytes == 8 * 1024 ** 3
+    assert cfg.total_frames == 1024 ** 3 // 1024  # 8 GB / 8 KB
+    assert cfg.frames_per_bank * cfg.n_banks == cfg.total_frames
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ProxyCacheConfig(block_size=0)
+    with pytest.raises(ValueError):
+        ProxyCacheConfig(block_size=64 * 1024)  # above protocol limit
+    with pytest.raises(ValueError):
+        ProxyCacheConfig(n_banks=0)
+    with pytest.raises(ValueError):
+        ProxyCacheConfig(capacity_bytes=8192, n_banks=512, associativity=16)
+
+
+def test_hit_timing_charged_via_storage():
+    env, cache = make_cache()
+    run(env, cache.insert((FH, 0), b"k" * 8192))
+    cache.storage.drop_caches()  # frame cold on proxy disk
+
+    def timed(env):
+        t0 = env.now
+        yield env.process(cache.lookup((FH, 0)))
+        return env.now - t0
+
+    elapsed = run(env, timed(env))
+    assert elapsed > 0  # disk access charged
+
+
+def test_config_requires_cache_attachment():
+    from repro.core.proxy import GvfsProxy
+    from repro.core.config import ProxyConfig, ProxyCacheConfig
+    env = Environment()
+    with pytest.raises(ValueError):
+        GvfsProxy(env, upstream=None,
+                  config=ProxyConfig(cache=ProxyCacheConfig()))

@@ -1,0 +1,103 @@
+"""Unit-level tests of the file channel's pipeline arithmetic."""
+
+import pytest
+
+from repro.core.channel import FileChannel, RemoteFileLocator
+from repro.core.filecache import ProxyFileCache
+from repro.net.compress import GZIP
+from repro.net.link import Link, Route
+from repro.net.ssh import ScpTransfer
+from repro.net.topology import Host
+from repro.nfs.protocol import FileHandle
+from repro.sim import Environment
+from repro.storage.vfs import FileSystem, SparseFile
+from repro.vm.image import make_memory_state
+
+
+def make_channel(size=4 * 1024 * 1024, zero_fraction=0.9,
+                 server_speed=1.0, client_speed=1.0):
+    env = Environment()
+    server = Host(env, "server", cpus=2, cpu_speed=server_speed)
+    client = Host(env, "client", cpus=2, cpu_speed=client_speed)
+    inode = server.local.fs.create("/state")
+    inode.data = make_memory_state(size, zero_fraction, seed=9)
+    fh = FileHandle("x", inode.fileid)
+    locator = RemoteFileLocator(
+        resolve=lambda handle: server.local.fs.get_inode(handle.fileid),
+        server_host=server, server_fs=server.local, client_host=client)
+    scp = ScpTransfer(env, Route([Link(env, 0.019, 30e6)]))
+    cache = ProxyFileCache(env, client.local)
+    channel = FileChannel(env, locator, scp, cache)
+    return env, channel, fh, inode
+
+
+def run(env, gen):
+    box = {}
+
+    def wrapper(env):
+        box["value"] = yield env.process(gen)
+        box["t"] = env.now
+
+    env.process(wrapper(env))
+    env.run()
+    return box
+
+
+def test_fetch_installs_identical_content():
+    env, channel, fh, inode = make_channel()
+    box = run(env, channel.fetch(fh))
+    entry = box["value"]
+    assert entry.size == inode.data.size
+    assert (entry.inode.data.read(0, entry.size)
+            == inode.data.read(0, inode.data.size))
+    assert fh in channel.file_cache
+
+
+def test_fetch_compresses_zero_rich_state_hard():
+    env, channel, fh, _ = make_channel(zero_fraction=0.95)
+    run(env, channel.fetch(fh))
+    assert channel.bytes_on_wire < channel.bytes_logical / 10
+
+
+def test_fetch_time_scales_with_compress_cpu():
+    """A slower image-server CPU lengthens the gzip stage."""
+    def fetch_time(server_speed):
+        env, channel, fh, _ = make_channel(server_speed=server_speed)
+        return run(env, channel.fetch(fh))["t"]
+
+    assert fetch_time(0.5) > fetch_time(2.0)
+
+
+def test_upload_roundtrip_updates_server():
+    env, channel, fh, inode = make_channel()
+    run(env, channel.fetch(fh))
+
+    def modify_and_upload(env):
+        yield env.process(channel.file_cache.write(fh, 0, b"LOCAL-EDIT"))
+        yield env.process(channel.upload(fh))
+
+    run(env, modify_and_upload(env))
+    assert inode.data.read(0, 10) == b"LOCAL-EDIT"
+    assert channel.uploads == 1
+    assert not channel.file_cache.entry(fh).dirty
+
+
+def test_upload_requires_cached_entry():
+    env, channel, fh, _ = make_channel()
+
+    def proc(env):
+        try:
+            yield env.process(channel.upload(fh))
+        except KeyError:
+            return "refused"
+
+    box = run(env, proc(env))
+    assert box["value"] == "refused"
+
+
+def test_compression_model_stats_accumulate():
+    env, channel, fh, inode = make_channel()
+    run(env, channel.fetch(fh))
+    assert channel.fetches == 1
+    assert channel.bytes_logical == inode.data.size
+    assert 0 < channel.bytes_on_wire < inode.data.size

@@ -1,0 +1,61 @@
+"""Property-based tests for meta-data and profile encodings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.metadata import FILE_CHANNEL_ACTIONS, FileMetadata, _rle
+from repro.core.profiler import AccessProfile
+
+
+indices = st.sets(st.integers(min_value=0, max_value=500), max_size=120)
+
+
+@given(indices)
+def test_rle_roundtrip(index_set):
+    """Run-length encoding of sorted indices loses nothing."""
+    runs = _rle(sorted(index_set))
+    rebuilt = set()
+    for start, length in runs:
+        rebuilt.update(range(start, start + length))
+    assert rebuilt == index_set
+    # Runs are canonical: sorted, non-adjacent, positive lengths.
+    for i in range(1, len(runs)):
+        assert runs[i][0] > runs[i - 1][0] + runs[i - 1][1]
+    assert all(length > 0 for _, length in runs)
+
+
+@given(indices, st.integers(min_value=1, max_value=64))
+def test_metadata_roundtrip_arbitrary_zero_sets(index_set, n_extra_blocks):
+    file_blocks = (max(index_set, default=0) + n_extra_blocks)
+    meta = FileMetadata(file_size=file_blocks * 8192, block_size=8192,
+                        zero_blocks=frozenset(index_set),
+                        actions=FILE_CHANNEL_ACTIONS)
+    again = FileMetadata.from_bytes(meta.to_bytes())
+    assert again == meta
+
+
+@given(indices)
+def test_covers_read_agrees_with_blockwise_check(index_set):
+    meta = FileMetadata(file_size=501 * 8192, block_size=8192,
+                        zero_blocks=frozenset(index_set))
+    # Spot-check a handful of windows.
+    for offset, count in [(0, 8192), (4096, 8192), (0, 501 * 8192),
+                          (100 * 8192, 3 * 8192)]:
+        first = offset // 8192
+        last = (offset + count - 1) // 8192
+        expected = all(i in index_set for i in range(first, last + 1))
+        assert meta.covers_read(offset, count) == expected
+
+
+profile_blocks = st.lists(
+    st.tuples(st.sampled_from(["imgA", "imgB"]),
+              st.integers(min_value=1, max_value=50),
+              st.integers(min_value=0, max_value=10_000)),
+    max_size=60, unique=True)
+
+
+@given(profile_blocks)
+def test_profile_roundtrip_preserves_order(blocks):
+    profile = AccessProfile("app", tuple(blocks))
+    again = AccessProfile.from_bytes(profile.to_bytes())
+    assert again.blocks == tuple(blocks)  # order preserved exactly
+    assert again.application == "app"

@@ -1,0 +1,63 @@
+"""Smoke/shape tests for the experiment drivers (small configurations)."""
+
+import pytest
+
+from repro.core.session import Scenario
+from repro.experiments.appbench import run_application_benchmark
+from repro.experiments.clonebench import (
+    CloneScenario,
+    run_cloning_benchmark,
+    run_parallel_cloning,
+)
+from repro.workloads.latex import LatexBenchmark
+
+
+def test_appbench_returns_per_run_phases():
+    result = run_application_benchmark(
+        Scenario.LOCAL, lambda: LatexBenchmark(iterations=2), runs=2)
+    assert result.scenario is Scenario.LOCAL
+    assert len(result.runs) == 2
+    assert len(result.runs[0].phases) == 2
+    assert result.run_total(0) > 0
+    assert result.phase("iter01", run=1) > 0
+
+
+def test_appbench_second_run_warm_not_slower():
+    result = run_application_benchmark(
+        Scenario.WAN_CACHED, lambda: LatexBenchmark(iterations=2), runs=2)
+    assert result.run_total(1) <= result.run_total(0)
+
+
+def test_appbench_wan_slower_than_local():
+    local = run_application_benchmark(
+        Scenario.LOCAL, lambda: LatexBenchmark(iterations=2), runs=1)
+    wan = run_application_benchmark(
+        Scenario.WAN, lambda: LatexBenchmark(iterations=2), runs=1)
+    assert wan.run_total() > local.run_total() * 2
+
+
+def test_clonebench_sequential_records_each_clone():
+    result = run_cloning_benchmark(CloneScenario.WAN_S1, n_clones=2)
+    assert result.scenario == "WAN-S1"
+    assert len(result.clone_seconds) == 2
+    assert result.clone_seconds[1] < result.clone_seconds[0]
+    assert result.details[0].phases["copy_memory"] > 0
+
+
+def test_clonebench_cold_between_eliminates_locality():
+    warmish = run_cloning_benchmark(CloneScenario.WAN_S1, n_clones=2)
+    cold = run_cloning_benchmark(CloneScenario.WAN_S1, n_clones=2,
+                                 cold_between=True)
+    # With cold caches between clonings, the second clone is as
+    # expensive as the first.
+    assert cold.clone_seconds[1] > warmish.clone_seconds[1] * 2
+    assert cold.clone_seconds[1] == pytest.approx(cold.clone_seconds[0],
+                                                  rel=0.15)
+
+
+def test_parallel_cloning_overlaps():
+    par = run_parallel_cloning(n_clones=2)
+    assert par.scenario == "WAN-P"
+    assert len(par.clone_seconds) == 2
+    # Wall clock is far below the sum of per-clone times.
+    assert par.wall_seconds < sum(par.clone_seconds) * 0.9

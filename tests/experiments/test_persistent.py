@@ -1,0 +1,74 @@
+"""Tests for the persistent-VM lifecycle driver (§3.2.3 scenario 1)."""
+
+import pytest
+
+from repro.experiments.persistent import (
+    PERSISTENT_VM_CONFIG,
+    run_persistent_vm_lifecycle,
+)
+
+
+@pytest.fixture(scope="module")
+def lifecycle():
+    return run_persistent_vm_lifecycle()
+
+
+def test_lifecycle_completes_all_phases(lifecycle):
+    assert lifecycle.first_resume_seconds > 0
+    assert lifecycle.work_seconds > 10.0       # includes the compute burst
+    assert lifecycle.suspend_seconds > 0
+    assert lifecycle.offline_flush_seconds > 0
+    assert lifecycle.second_resume_seconds > 0
+    assert lifecycle.second_node_index == 1    # the user moved servers
+
+
+def test_on_demand_access_moves_a_fraction_of_the_disk(lifecycle):
+    """§3.2.3 claim 2: the virtual disk is never downloaded wholesale."""
+    assert lifecycle.disk_moved_fraction < 0.10
+
+
+def test_suspend_faster_than_offline_flush(lifecycle):
+    """§3.2.3 claim 4: write-back makes the user-visible suspend cheap;
+    the bulk upload happens off-line."""
+    assert lifecycle.suspend_seconds < lifecycle.offline_flush_seconds
+
+
+def test_second_session_reads_are_cheap(lifecycle):
+    """After the user returns, re-reading the project files costs far
+    less than the first session's combined read+write pass."""
+    assert lifecycle.second_work_seconds < lifecycle.work_seconds
+
+
+def test_checkpoint_roundtrip_preserves_state():
+    """The state written in session A is what session B resumes from."""
+    from repro.core.session import GvfsSession, Scenario, ServerEndpoint
+    from repro.net.topology import make_paper_testbed
+    from repro.vm.image import VmImage
+    from repro.vm.monitor import VmMonitor
+
+    testbed = make_paper_testbed(n_compute=2)
+    env = testbed.env
+    endpoint = ServerEndpoint(env, testbed.wan_server)
+    image = VmImage.create(endpoint.export.fs, "/images/d",
+                           PERSISTENT_VM_CONFIG)
+    image.generate_metadata()
+    sessions = [GvfsSession.build(testbed, Scenario.WAN_CACHED,
+                                  endpoint=endpoint, compute_index=i)
+                for i in range(2)]
+    monitors = [VmMonitor(env, testbed.compute[i]) for i in range(2)]
+    box = {}
+
+    def proc(env):
+        vm = yield from monitors[0].resume(sessions[0].mount, "/images/d")
+        yield from monitors[0].suspend(sessions[0].mount, "/images/d", vm)
+        yield env.process(sessions[0].flush())
+        image.generate_metadata()
+        # Session B verifies every byte of the new checkpoint.
+        golden = image.memory_inode.data
+        vm2 = yield from monitors[1].resume(sessions[1].mount, "/images/d",
+                                            verify_against=golden)
+        box["ok"] = vm2.running
+
+    env.process(proc(env))
+    env.run()
+    assert box["ok"]

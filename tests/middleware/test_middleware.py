@@ -1,0 +1,199 @@
+"""Tests for logical accounts, image catalog and session orchestration."""
+
+import pytest
+
+from repro.middleware.accounts import AccountManager
+from repro.middleware.imageserver import ImageCatalog, ImageRequirements
+from repro.middleware.sessions import VmSessionManager
+from repro.net.topology import Testbed
+from repro.sim import Environment
+from repro.storage.vfs import FileSystem
+from repro.vm.image import VmConfig
+
+
+# -- AccountManager -----------------------------------------------------------
+
+def test_lease_assigns_distinct_identities():
+    env = Environment()
+    mgr = AccountManager(env, base_uid=5000, pool_size=4)
+    a = mgr.lease("alice")
+    b = mgr.lease("bob")
+    assert a.uid != b.uid
+    assert mgr.active_leases() == 2
+
+
+def test_lease_idempotent_per_user():
+    env = Environment()
+    mgr = AccountManager(env, pool_size=4)
+    assert mgr.lease("alice") is mgr.lease("alice")
+    assert mgr.active_leases() == 1
+
+
+def test_release_returns_account_to_pool():
+    env = Environment()
+    mgr = AccountManager(env, pool_size=1)
+    mgr.lease("alice")
+    with pytest.raises(RuntimeError):
+        mgr.lease("bob")
+    mgr.release("alice")
+    mgr.lease("bob")
+    assert mgr.account_of("alice") is None
+    assert mgr.account_of("bob") is not None
+
+
+def test_lease_expiry_frees_accounts():
+    env = Environment()
+    mgr = AccountManager(env, pool_size=1, lease_seconds=10.0)
+    mgr.lease("alice")
+
+    def advance(env):
+        yield env.timeout(11.0)
+
+    env.process(advance(env))
+    env.run()
+    assert mgr.active_leases() == 0
+    mgr.lease("bob")  # pool is free again
+
+
+def test_pool_size_validation():
+    with pytest.raises(ValueError):
+        AccountManager(Environment(), pool_size=0)
+
+
+# -- ImageCatalog ---------------------------------------------------------------
+
+def small_cfg(name, mem=2, disk=0.002, os_name="Red Hat Linux 7.3"):
+    return VmConfig(name=name, memory_mb=mem, disk_gb=disk, os_name=os_name,
+                    seed=1)
+
+
+def test_register_and_lookup():
+    cat = ImageCatalog(FileSystem())
+    cat.register("base", small_cfg("base"), applications=("latex",))
+    assert cat.names() == ["base"]
+    assert cat.get("base").config.name == "base"
+
+
+def test_register_duplicate_rejected():
+    cat = ImageCatalog(FileSystem())
+    cat.register("base", small_cfg("base"))
+    with pytest.raises(ValueError):
+        cat.register("base", small_cfg("base"))
+
+
+def test_best_match_filters_requirements():
+    cat = ImageCatalog(FileSystem())
+    cat.register("small", small_cfg("small", mem=2),
+                 applications=("latex",))
+    cat.register("big", small_cfg("big", mem=8),
+                 applications=("latex", "specseis"))
+    match = cat.best_match(ImageRequirements(min_memory_mb=4))
+    assert match.config.name == "big"
+    match = cat.best_match(ImageRequirements(applications=("specseis",)))
+    assert match.config.name == "big"
+
+
+def test_best_match_prefers_leanest_satisfying():
+    cat = ImageCatalog(FileSystem())
+    cat.register("small", small_cfg("small", mem=2))
+    cat.register("big", small_cfg("big", mem=8))
+    match = cat.best_match(ImageRequirements(min_memory_mb=1))
+    assert match.config.name == "small"
+
+
+def test_best_match_no_candidate_raises():
+    cat = ImageCatalog(FileSystem())
+    cat.register("linux", small_cfg("linux"))
+    with pytest.raises(LookupError):
+        cat.best_match(ImageRequirements(os_name="Windows 2000"))
+
+
+def test_registered_image_has_metadata():
+    fs = FileSystem()
+    cat = ImageCatalog(fs)
+    cat.register("base", small_cfg("base"))
+    assert fs.exists("/images/base/.mem.vmss.gvfs")
+
+
+# -- VmSessionManager -------------------------------------------------------------
+
+def make_manager():
+    testbed = Testbed(Environment(), n_compute=2)
+    mgr = VmSessionManager(testbed)
+    mgr.catalog.register("base", small_cfg("base"), applications=("latex",))
+    return testbed, mgr
+
+
+def run(env, gen):
+    box = {}
+
+    def wrapper(env):
+        box["value"] = yield env.process(gen)
+
+    env.process(wrapper(env))
+    env.run()
+    return box["value"]
+
+
+def test_create_session_end_to_end():
+    testbed, mgr = make_manager()
+    session = run(testbed.env, mgr.create_session(
+        "alice", ImageRequirements(applications=("latex",))))
+    assert session.vm is not None and session.vm.running
+    assert session.account.leased_to == "alice"
+    assert mgr.active_sessions == 1
+    # Clone landed on the chosen compute node's local disk.
+    local = testbed.compute[session.compute_index].local.fs
+    assert local.exists(f"/sessions/alice-vm1/vm.cfg")
+
+
+def test_sessions_round_robin_compute_nodes():
+    testbed, mgr = make_manager()
+    s1 = run(testbed.env, mgr.create_session(
+        "alice", ImageRequirements()))
+    s2 = run(testbed.env, mgr.create_session(
+        "bob", ImageRequirements()))
+    assert {s1.compute_index, s2.compute_index} == {0, 1}
+
+
+def test_end_session_flushes_and_releases():
+    testbed, mgr = make_manager()
+    session = run(testbed.env, mgr.create_session("alice",
+                                                  ImageRequirements()))
+    run(testbed.env, mgr.end_session(session))
+    assert session.closed
+    assert mgr.active_sessions == 0
+    assert mgr.accounts.account_of("alice") is None
+    assert mgr.consistency.log  # the FLUSH signal was recorded
+
+
+def test_end_session_twice_rejected():
+    testbed, mgr = make_manager()
+    session = run(testbed.env, mgr.create_session("alice",
+                                                  ImageRequirements()))
+    run(testbed.env, mgr.end_session(session))
+    box = {}
+
+    def wrapper(env):
+        try:
+            yield env.process(mgr.end_session(session))
+        except RuntimeError as exc:
+            box["err"] = str(exc)
+
+    testbed.env.process(wrapper(testbed.env))
+    testbed.env.run()
+    assert "closed" in box["err"]
+
+
+def test_register_existing_shares_archived_image():
+    from repro.storage.vfs import FileSystem
+    fs = FileSystem()
+    cat1 = ImageCatalog(fs)
+    cat1.register("base", small_cfg("base"))
+    cat2 = ImageCatalog(fs)
+    image = cat2.register_existing("base", applications=("latex",))
+    assert image.config.name == "base"
+    assert cat2.best_match(ImageRequirements(applications=("latex",))) \
+        is image
+    with pytest.raises(ValueError):
+        cat2.register_existing("base")

@@ -1,0 +1,130 @@
+"""Tests for user-data mounts inside VMs (Figure 1's data servers)."""
+
+import pytest
+
+from repro.core.session import ServerEndpoint
+from repro.middleware.imageserver import ImageRequirements
+from repro.middleware.sessions import VmSessionManager
+from repro.net.topology import Testbed
+from repro.sim import Environment
+from repro.vm.image import VmConfig
+
+
+def make_manager(with_data=True):
+    testbed = Testbed(Environment(), n_compute=1)
+    data_endpoint = (ServerEndpoint(testbed.env, testbed.lan_server,
+                                    fsid="userdata") if with_data else None)
+    mgr = VmSessionManager(testbed, data_endpoint=data_endpoint)
+    mgr.catalog.register("base", VmConfig(name="base", memory_mb=2,
+                                          disk_gb=0.01, seed=1))
+    return testbed, mgr
+
+
+def run(env, gen):
+    box = {}
+
+    def wrapper(env):
+        box["value"] = yield env.process(gen)
+
+    env.process(wrapper(env))
+    env.run()
+    return box["value"]
+
+
+def test_session_mounts_user_home():
+    testbed, mgr = make_manager()
+    session = run(testbed.env, mgr.create_session("alice",
+                                                  ImageRequirements()))
+    assert session.data_session is not None
+    assert session.vm.user_mount is session.data_session.mount
+    assert session.vm.user_dir == "/home/alice"
+    assert mgr.data_endpoint.export.fs.exists("/home/alice")
+
+
+def test_guest_reads_preexisting_user_file():
+    testbed, mgr = make_manager()
+    fs = mgr.data_endpoint.export.fs
+    fs.mkdir("/home/alice", parents=True)
+    fs.create("/home/alice/input.dat")
+    fs.write("/home/alice/input.dat", b"grid user data" * 100)
+    session = run(testbed.env, mgr.create_session("alice",
+                                                  ImageRequirements()))
+
+    def proc(env):
+        data = yield env.process(session.vm.read_user_file("input.dat"))
+        return data
+
+    data = run(testbed.env, proc(testbed.env))
+    assert data == b"grid user data" * 100
+    assert session.vm.user_bytes_read == len(data)
+
+
+def test_guest_writes_reach_data_server_after_session_end():
+    testbed, mgr = make_manager()
+    session = run(testbed.env, mgr.create_session("bob",
+                                                  ImageRequirements()))
+    payload = b"results!" * 2048
+
+    def proc(env):
+        yield env.process(session.vm.write_user_file("out.dat", payload))
+        yield env.process(mgr.end_session(session))
+
+    run(testbed.env, proc(testbed.env))
+    assert mgr.data_endpoint.export.fs.read("/home/bob/out.dat") == payload
+
+
+def test_user_data_isolated_per_user():
+    testbed, mgr = make_manager()
+    s1 = run(testbed.env, mgr.create_session("alice", ImageRequirements()))
+    # Same node: the round-robin wraps to compute0 again.
+    s2 = run(testbed.env, mgr.create_session("bob", ImageRequirements()))
+    assert s1.vm.user_dir != s2.vm.user_dir
+
+    def proc(env):
+        yield env.process(s1.vm.write_user_file("mine.txt", b"alice-only"))
+
+    run(testbed.env, proc(testbed.env))
+    fs = mgr.data_endpoint.export.fs
+    assert fs.exists("/home/alice/mine.txt")
+    assert not fs.exists("/home/bob/mine.txt")
+
+
+def test_vm_without_data_server_refuses_user_io():
+    testbed, mgr = make_manager(with_data=False)
+    session = run(testbed.env, mgr.create_session("alice",
+                                                  ImageRequirements()))
+    assert session.data_session is None
+    box = {}
+
+    def proc(env):
+        try:
+            yield env.process(session.vm.read_user_file("x"))
+        except RuntimeError as exc:
+            box["err"] = str(exc)
+
+    run(testbed.env, proc(testbed.env))
+    assert "no user data" in box["err"]
+    with pytest.raises(RuntimeError):
+        mgr.provision_user_home("alice")
+
+
+def test_user_writes_absorbed_by_write_back_proxy():
+    """User-file writes land in the data session's write-back cache and
+    only reach the data server at the consistency point."""
+    testbed, mgr = make_manager()
+    session = run(testbed.env, mgr.create_session("carol",
+                                                  ImageRequirements()))
+    payload = b"draft" * 4096
+
+    def proc(env):
+        yield env.process(session.vm.write_user_file("draft.txt", payload))
+        fs = mgr.data_endpoint.export.fs
+        before = fs.exists("/home/carol/draft.txt") and \
+            fs.read("/home/carol/draft.txt") == payload
+        yield env.process(mgr.end_session(session))
+        after = fs.read("/home/carol/draft.txt") == payload
+        return before, after
+
+    before, after = run(testbed.env, proc(testbed.env))
+    assert not before   # absorbed locally, not yet at the server
+    assert after        # durable after the middleware flush

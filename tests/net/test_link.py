@@ -1,0 +1,151 @@
+"""Unit tests for link and route timing."""
+
+import pytest
+
+from repro.net.link import HEADER_BYTES, Link, Route, duplex
+from repro.sim import Environment
+
+
+def transmit_and_time(env, carrier, nbytes):
+    done = {}
+
+    def proc(env):
+        yield env.process(carrier.transmit(nbytes))
+        done["t"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    return done["t"]
+
+
+def test_single_message_time_is_serialization_plus_latency():
+    env = Environment()
+    link = Link(env, latency=0.010, bandwidth=1e6)
+    t = transmit_and_time(env, link, 10_000)
+    assert t == pytest.approx(0.010 + (10_000 + HEADER_BYTES) / 1e6)
+
+
+def test_zero_byte_message_still_pays_header_and_latency():
+    env = Environment()
+    link = Link(env, latency=0.005, bandwidth=1e6)
+    t = transmit_and_time(env, link, 0)
+    assert t == pytest.approx(0.005 + HEADER_BYTES / 1e6)
+
+
+def test_messages_queue_on_shared_link():
+    env = Environment()
+    link = Link(env, latency=0.0, bandwidth=1e3)  # 1 KB/s: serialization dominates
+    times = []
+
+    def sender(env, n):
+        yield env.process(link.transmit(n))
+        times.append(env.now)
+
+    env.process(sender(env, 1000 - HEADER_BYTES))
+    env.process(sender(env, 1000 - HEADER_BYTES))
+    env.run()
+    assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_latency_pipelines_across_messages():
+    """Propagation of message 1 overlaps serialization of message 2."""
+    env = Environment()
+    link = Link(env, latency=10.0, bandwidth=1e3)
+    times = []
+
+    def sender(env, n):
+        yield env.process(link.transmit(n))
+        times.append(env.now)
+
+    env.process(sender(env, 1000 - HEADER_BYTES))
+    env.process(sender(env, 1000 - HEADER_BYTES))
+    env.run()
+    # msg1 done at 1 + 10 = 11; msg2 serializes [1,2], arrives 12 (not 22).
+    assert times == [pytest.approx(11.0), pytest.approx(12.0)]
+
+
+def test_negative_size_rejected():
+    env = Environment()
+    link = Link(env, latency=0, bandwidth=1e6)
+
+    def proc(env):
+        yield env.process(link.transmit(-1))
+
+    env.process(proc(env))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_invalid_link_parameters():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Link(env, latency=-1, bandwidth=1e6)
+    with pytest.raises(ValueError):
+        Link(env, latency=0, bandwidth=0)
+
+
+def test_link_statistics():
+    env = Environment()
+    link = Link(env, latency=0.001, bandwidth=1e6)
+
+    def proc(env):
+        yield env.process(link.transmit(5000))
+
+    env.process(proc(env))
+    env.run()
+    assert link.bytes_sent == 5000
+    assert link.messages_sent == 1
+    assert link.busy_time == pytest.approx((5000 + HEADER_BYTES) / 1e6)
+
+
+def test_route_sums_hops():
+    env = Environment()
+    a = Link(env, latency=0.001, bandwidth=1e6, name="a")
+    b = Link(env, latency=0.002, bandwidth=2e6, name="b")
+    route = Route([a, b])
+    assert route.latency == pytest.approx(0.003)
+    assert route.bottleneck_bandwidth == 1e6
+    t = transmit_and_time(env, route, 10_000)
+    assert t == pytest.approx(route.unloaded_transfer_time(10_000))
+
+
+def test_route_requires_links():
+    with pytest.raises(ValueError):
+        Route([])
+
+
+def test_duplex_directions_are_independent():
+    env = Environment()
+    fwd, rev = duplex(env, latency=0.0, bandwidth=1e3, name="d")
+    times = {}
+
+    def sender(env, link, key):
+        yield env.process(link.transmit(1000 - HEADER_BYTES))
+        times[key] = env.now
+
+    env.process(sender(env, fwd, "fwd"))
+    env.process(sender(env, rev, "rev"))
+    env.run()
+    # No contention between directions: both finish at 1 s.
+    assert times == {"fwd": pytest.approx(1.0), "rev": pytest.approx(1.0)}
+
+
+def test_contention_on_shared_hop_in_routes():
+    env = Environment()
+    shared = Link(env, latency=0.0, bandwidth=1e3, name="shared")
+    a = Link(env, latency=0.0, bandwidth=1e9, name="a")
+    b = Link(env, latency=0.0, bandwidth=1e9, name="b")
+    r1 = Route([a, shared])
+    r2 = Route([b, shared])
+    times = []
+
+    def sender(env, route):
+        yield env.process(route.transmit(1000 - HEADER_BYTES))
+        times.append(env.now)
+
+    env.process(sender(env, r1))
+    env.process(sender(env, r2))
+    env.run()
+    times.sort()
+    assert times[0] == pytest.approx(1.0, rel=1e-3)
+    assert times[1] == pytest.approx(2.0, rel=1e-3)

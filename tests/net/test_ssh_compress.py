@@ -1,0 +1,176 @@
+"""Tests for SSH tunnel, SCP transfer and compression models."""
+
+import zlib
+
+import pytest
+
+from repro.net.compress import GZIP, CompressionModel
+from repro.net.link import Link, Route
+from repro.net.ssh import DEFAULT_TCP_WINDOW, ScpTransfer, SshTunnel
+from repro.sim import Environment
+
+
+def run_process(env, gen):
+    box = {}
+
+    def wrapper(env):
+        result = yield env.process(gen)
+        box["value"] = result
+        box["t"] = env.now
+
+    env.process(wrapper(env))
+    env.run()
+    return box
+
+
+# -- SshTunnel -----------------------------------------------------------------
+
+def make_route(env, latency=0.010, bandwidth=1e6):
+    return Route([Link(env, latency, bandwidth, name="wire")])
+
+
+def test_tunnel_adds_cipher_time():
+    env = Environment()
+    route = make_route(env)
+    tun = SshTunnel(env, route, cipher_bps=1e6, pre_established=True)
+    box = run_process(env, tun.transmit(10_000))
+    plain = route.unloaded_transfer_time(10_000)
+    assert box["t"] == pytest.approx(plain + 2 * 10_000 / 1e6)
+
+
+def test_tunnel_handshake_charged_once():
+    env = Environment()
+    route = make_route(env)
+    tun = SshTunnel(env, route, pre_established=False)
+
+    def proc(env):
+        yield env.process(tun.transmit(100))
+        first = env.now
+        yield env.process(tun.transmit(100))
+        return first, env.now
+
+    box = run_process(env, proc(env))
+    first, second = box["value"]
+    handshake = SshTunnel.HANDSHAKE_ROUND_TRIPS * 0.020 + SshTunnel.HANDSHAKE_CPU
+    assert first > handshake
+    assert (second - first) < first  # second message cheaper
+    assert tun.established
+
+
+def test_tunnel_rejects_bad_cipher_rate():
+    env = Environment()
+    with pytest.raises(ValueError):
+        SshTunnel(env, make_route(env), cipher_bps=0)
+
+
+# -- ScpTransfer ---------------------------------------------------------------
+
+def test_scp_window_limited_on_wan():
+    """Over a long fat pipe the stream runs at window/RTT, not link rate."""
+    env = Environment()
+    route = make_route(env, latency=0.019, bandwidth=30e6)
+    scp = ScpTransfer(env, route)
+    expected_rate = DEFAULT_TCP_WINDOW / 0.038
+    assert scp.effective_bandwidth == pytest.approx(expected_rate)
+    nbytes = 16 * 1024 * 1024
+    box = run_process(env, scp.transfer(nbytes))
+    assert box["t"] == pytest.approx(scp.transfer_time(nbytes), rel=0.15)
+
+
+def test_scp_link_limited_on_lan():
+    env = Environment()
+    route = make_route(env, latency=0.0001, bandwidth=12.5e6)
+    scp = ScpTransfer(env, route)
+    assert scp.effective_bandwidth == pytest.approx(12.5e6)
+    nbytes = 8 * 1024 * 1024
+    box = run_process(env, scp.transfer(nbytes))
+    assert box["t"] == pytest.approx(nbytes / 12.5e6, rel=0.10)
+
+
+def test_parallel_scp_streams_share_fat_pipe_without_collapse():
+    """Eight window-limited streams on a fat shared link barely slow down."""
+    env = Environment()
+    shared = Link(env, latency=0.019, bandwidth=30e6, name="wan")
+    times = []
+
+    def one(env):
+        scp = ScpTransfer(env, Route([shared]))
+        yield env.process(scp.transfer(4 * 1024 * 1024))
+        times.append(env.now)
+
+    solo_env = Environment()
+    solo_link = Link(solo_env, latency=0.019, bandwidth=30e6)
+    solo = run_process(solo_env,
+                       ScpTransfer(solo_env, Route([solo_link])).transfer(4 * 1024 * 1024))
+
+    for _ in range(8):
+        env.process(one(env))
+    env.run()
+    assert max(times) < solo["t"] * 2.0  # far from 8x serialization
+
+
+def test_scp_era_calibration_matches_paper_magnitude():
+    """SCP of the full 1.92 GB VM image should take ~19 minutes (paper: 1127 s)."""
+    env = Environment()
+    route = make_route(env, latency=0.019, bandwidth=30e6)
+    scp = ScpTransfer(env, route)
+    t = scp.transfer_time(int(1.92e9))
+    assert 900 < t < 1400
+
+
+def test_scp_rejects_negative():
+    env = Environment()
+    scp = ScpTransfer(env, make_route(env))
+
+    def proc(env):
+        yield env.process(scp.transfer(-5))
+
+    env.process(proc(env))
+    with pytest.raises(ValueError):
+        env.run()
+
+
+# -- CompressionModel ----------------------------------------------------------
+
+def test_compressed_size_zero_runs_are_tiny():
+    size = GZIP.compressed_size([10 * 1024 * 1024])  # 10 MB of zeros
+    assert size < 10 * 1024 * 1024 / 500
+
+
+def test_compressed_size_random_data_incompressible():
+    import numpy as np
+    rng = np.random.default_rng(7)
+    blob = rng.bytes(256 * 1024)
+    size = GZIP.compressed_size([blob])
+    assert size > len(blob) * 0.95
+
+
+def test_compressed_size_matches_real_zlib_for_literals():
+    blob = b"abc" * 10_000
+    assert GZIP.compressed_size([blob]) == len(zlib.compress(blob, 6))
+
+
+def test_mixed_chunk_stream():
+    blob = b"xyz" * 5_000
+    total = GZIP.compressed_size([1024, blob, 2048])
+    assert total > 0
+    assert total < len(blob) + 3072
+
+
+def test_ratio_and_times():
+    model = CompressionModel("t", compress_bps=10e6, decompress_bps=50e6)
+    assert model.compress_time(10e6) == pytest.approx(1.0)
+    assert model.decompress_time(50e6) == pytest.approx(1.0)
+    assert model.ratio([1024 * 1024], 1024 * 1024) < 0.01
+    with pytest.raises(ValueError):
+        model.ratio([100], 0)
+
+
+def test_negative_zero_run_rejected():
+    with pytest.raises(ValueError):
+        GZIP.compressed_size([-1])
+
+
+def test_invalid_throughputs_rejected():
+    with pytest.raises(ValueError):
+        CompressionModel("bad", compress_bps=0, decompress_bps=1)

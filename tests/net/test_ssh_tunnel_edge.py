@@ -1,0 +1,70 @@
+"""Additional SSH tunnel and transfer edge-case tests."""
+
+import pytest
+
+from repro.net.link import Link, Route
+from repro.net.ssh import ScpTransfer, SshTunnel
+from repro.sim import Environment
+
+
+def run(env, gen):
+    box = {}
+
+    def wrapper(env):
+        box["value"] = yield env.process(gen)
+        box["t"] = env.now
+
+    env.process(wrapper(env))
+    env.run()
+    return box
+
+
+def test_concurrent_first_use_connects_once():
+    """Two messages racing on an unestablished tunnel: the handshake is
+    idempotent (connect() checks the flag) and both get through."""
+    env = Environment()
+    route = Route([Link(env, 0.010, 1e6)])
+    tun = SshTunnel(env, route, pre_established=False)
+    times = []
+
+    def sender(env):
+        yield env.process(tun.transmit(100))
+        times.append(env.now)
+
+    env.process(sender(env))
+    env.process(sender(env))
+    env.run()
+    assert len(times) == 2
+    assert tun.established
+
+
+def test_tunnel_counts_bytes():
+    env = Environment()
+    tun = SshTunnel(env, Route([Link(env, 0.001, 1e6)]))
+    run(env, tun.transmit(5000))
+    assert tun.bytes_tunnelled == 5000
+
+
+def test_scp_zero_latency_route():
+    """A zero-latency route must not divide by zero in the window cap."""
+    env = Environment()
+    scp = ScpTransfer(env, Route([Link(env, 0.0, 1e6)]))
+    assert scp.effective_bandwidth == pytest.approx(1e6)
+    box = run(env, scp.transfer(100_000))
+    assert box["t"] > 0
+
+
+def test_scp_window_parameter_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        ScpTransfer(env, Route([Link(env, 0.01, 1e6)]), tcp_window=0)
+
+
+def test_scp_larger_window_is_faster_on_wan():
+    def t(window):
+        env = Environment()
+        scp = ScpTransfer(env, Route([Link(env, 0.019, 30e6)]),
+                          tcp_window=window)
+        return run(env, scp.transfer(4 * 1024 * 1024))["t"]
+
+    assert t(256 * 1024) < t(64 * 1024) / 2

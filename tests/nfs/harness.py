@@ -1,0 +1,39 @@
+"""Shared wiring helpers for NFS-layer tests."""
+
+from repro.net.link import Link, Route
+from repro.nfs.client import MountOptions, NfsClient
+from repro.nfs.rpc import LoopbackTransport, RpcClient
+from repro.nfs.server import NfsServer
+from repro.sim import Environment
+from repro.storage.localfs import LocalFileSystem
+
+
+class Stack:
+    """env + server + one mounted client, over loopback or a real route."""
+
+    def __init__(self, latency: float = 0.0, bandwidth: float = 1e9,
+                 options: MountOptions = MountOptions()):
+        self.env = Environment()
+        self.server_fs = LocalFileSystem(self.env, name="server")
+        self.server = NfsServer(self.env, self.server_fs, fsid="test")
+        if latency == 0.0:
+            out = back = LoopbackTransport(self.env)
+        else:
+            out = Route([Link(self.env, latency, bandwidth, name="c2s")])
+            back = Route([Link(self.env, latency, bandwidth, name="s2c")])
+        self.rpc = RpcClient(self.env, self.server, out, back)
+        self.client = NfsClient(self.env)
+        self.mount = self.client.mount("/mnt", self.rpc, self.server.root_fh,
+                                       options)
+
+    def run(self, gen):
+        """Drive one process to completion; return (value, finish_time)."""
+        box = {}
+
+        def wrapper(env):
+            box["value"] = yield env.process(gen)
+            box["t"] = env.now
+
+        self.env.process(wrapper(self.env))
+        self.env.run()
+        return box["value"], box["t"]

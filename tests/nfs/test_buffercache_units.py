@@ -1,0 +1,93 @@
+"""Direct unit tests for the kernel buffer cache."""
+
+import pytest
+
+from repro.nfs.buffercache import BufferCache
+from repro.nfs.protocol import FileHandle
+
+FH = FileHandle("m", 1)
+FH2 = FileHandle("m", 2)
+
+
+def test_basic_get_put():
+    cache = BufferCache(capacity_bytes=4 * 8192)
+    assert cache.get((FH, 0)) is None
+    cache.put_clean((FH, 0), b"data")
+    assert cache.get((FH, 0)) == b"data"
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = BufferCache(capacity_bytes=2 * 8192)
+    cache.put_clean((FH, 0), b"a")
+    cache.put_clean((FH, 1), b"b")
+    cache.get((FH, 0))              # refresh 0: 1 becomes LRU
+    cache.put_clean((FH, 2), b"c")  # evicts 1
+    assert cache.peek((FH, 0)) == b"a"
+    assert cache.peek((FH, 1)) is None
+    assert cache.peek((FH, 2)) == b"c"
+    assert cache.evictions == 1
+
+
+def test_dirty_blocks_pinned_under_pressure():
+    cache = BufferCache(capacity_bytes=2 * 8192)
+    cache.put_dirty((FH, 0), b"dirty")
+    cache.put_clean((FH, 1), b"c1")
+    cache.put_clean((FH, 2), b"c2")   # must evict a CLEAN block
+    cache.put_clean((FH, 3), b"c3")
+    assert cache.peek((FH, 0)) == b"dirty"
+    assert cache.dirty_blocks == 1
+
+
+def test_put_clean_does_not_clobber_dirty():
+    cache = BufferCache()
+    cache.put_dirty((FH, 0), b"staged")
+    cache.put_clean((FH, 0), b"server-version")
+    assert cache.peek((FH, 0)) == b"staged"
+    cache.mark_clean((FH, 0))
+    cache.put_clean((FH, 0), b"server-version")
+    assert cache.peek((FH, 0)) == b"server-version"
+
+
+def test_dirty_keys_sorted_per_file():
+    cache = BufferCache()
+    cache.put_dirty((FH, 5), b"x")
+    cache.put_dirty((FH, 1), b"y")
+    cache.put_dirty((FH2, 0), b"z")
+    assert cache.dirty_keys_for(FH) == [(FH, 1), (FH, 5)]
+    assert cache.any_dirty_key() is not None
+
+
+def test_invalidate_file_drops_everything_for_that_file():
+    cache = BufferCache()
+    cache.put_clean((FH, 0), b"a")
+    cache.put_dirty((FH, 1), b"b")
+    cache.put_clean((FH2, 0), b"other")
+    cache.invalidate_file(FH)
+    assert cache.peek((FH, 0)) is None
+    assert cache.peek((FH, 1)) is None
+    assert cache.dirty_blocks == 0
+    assert cache.peek((FH2, 0)) == b"other"
+
+
+def test_clear_and_len():
+    cache = BufferCache()
+    cache.put_clean((FH, 0), b"a")
+    cache.put_dirty((FH, 1), b"b")
+    assert len(cache) == 2
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.dirty_blocks == 0
+
+
+def test_everything_dirty_stops_eviction():
+    cache = BufferCache(capacity_bytes=2 * 8192)
+    cache.put_dirty((FH, 0), b"a")
+    cache.put_dirty((FH, 1), b"b")
+    cache.put_dirty((FH, 2), b"c")   # over capacity but all pinned
+    assert len(cache) == 3
+
+
+def test_block_size_validation():
+    with pytest.raises(ValueError):
+        BufferCache(block_size=0)

@@ -1,0 +1,169 @@
+"""Tests of the NFS server against the protocol subset."""
+
+import pytest
+
+from repro.nfs.protocol import FileHandle, NfsProc, NfsRequest, NfsStatus
+from tests.nfs.harness import Stack
+
+
+def call(stack, request):
+    reply, _ = stack.run(stack.server.handle(request))
+    return reply
+
+
+def test_null():
+    s = Stack()
+    assert call(s, NfsRequest(NfsProc.NULL)).ok
+
+
+def test_getattr_of_root():
+    s = Stack()
+    reply = call(s, NfsRequest(NfsProc.GETATTR, fh=s.server.root_fh))
+    assert reply.ok
+    assert reply.attrs.kind == "dir"
+    assert reply.attrs.fileid == 1
+
+
+def test_lookup_and_read():
+    s = Stack()
+    s.server_fs.fs.create("/hello")
+    s.server_fs.fs.write("/hello", b"world")
+    look = call(s, NfsRequest(NfsProc.LOOKUP, fh=s.server.root_fh, name="hello"))
+    assert look.ok and look.attrs.size == 5
+    read = call(s, NfsRequest(NfsProc.READ, fh=look.fh, offset=0, count=100))
+    assert read.ok
+    assert read.data == b"world"
+    assert read.eof
+
+
+def test_lookup_missing_is_noent():
+    s = Stack()
+    reply = call(s, NfsRequest(NfsProc.LOOKUP, fh=s.server.root_fh, name="no"))
+    assert reply.status is NfsStatus.NOENT
+
+
+def test_stale_handle():
+    s = Stack()
+    reply = call(s, NfsRequest(NfsProc.GETATTR, fh=FileHandle("test", 999)))
+    assert reply.status is NfsStatus.STALE
+    foreign = call(s, NfsRequest(NfsProc.GETATTR, fh=FileHandle("other", 1)))
+    assert foreign.status is NfsStatus.STALE
+
+
+def test_write_then_read_back():
+    s = Stack()
+    created = call(s, NfsRequest(NfsProc.CREATE, fh=s.server.root_fh, name="f"))
+    assert created.ok
+    wrote = call(s, NfsRequest(NfsProc.WRITE, fh=created.fh, offset=3,
+                               data=b"abc", stable=True))
+    assert wrote.ok and wrote.count == 3
+    assert s.server_fs.fs.read("/f") == bytes(3) + b"abc"
+
+
+def test_create_exclusive_conflict():
+    s = Stack()
+    call(s, NfsRequest(NfsProc.CREATE, fh=s.server.root_fh, name="f"))
+    dup = call(s, NfsRequest(NfsProc.CREATE, fh=s.server.root_fh, name="f"))
+    assert dup.status is NfsStatus.EXIST
+    unchecked = call(s, NfsRequest(NfsProc.CREATE, fh=s.server.root_fh,
+                                   name="f", exclusive=False))
+    assert unchecked.ok
+
+
+def test_mkdir_readdir_rmdir():
+    s = Stack()
+    made = call(s, NfsRequest(NfsProc.MKDIR, fh=s.server.root_fh, name="d"))
+    assert made.ok and made.attrs.kind == "dir"
+    call(s, NfsRequest(NfsProc.CREATE, fh=made.fh, name="inner"))
+    listing = call(s, NfsRequest(NfsProc.READDIR, fh=made.fh))
+    assert listing.entries == ("inner",)
+    busy = call(s, NfsRequest(NfsProc.RMDIR, fh=s.server.root_fh, name="d"))
+    assert busy.status is NfsStatus.NOTEMPTY
+    call(s, NfsRequest(NfsProc.REMOVE, fh=made.fh, name="inner"))
+    gone = call(s, NfsRequest(NfsProc.RMDIR, fh=s.server.root_fh, name="d"))
+    assert gone.ok
+
+
+def test_symlink_and_readlink():
+    s = Stack()
+    made = call(s, NfsRequest(NfsProc.SYMLINK, fh=s.server.root_fh,
+                              name="ln", target="/real"))
+    assert made.ok and made.attrs.kind == "symlink"
+    link = call(s, NfsRequest(NfsProc.READLINK, fh=made.fh))
+    assert link.target == "/real"
+    notlink = call(s, NfsRequest(NfsProc.CREATE, fh=s.server.root_fh, name="f"))
+    bad = call(s, NfsRequest(NfsProc.READLINK, fh=notlink.fh))
+    assert bad.status is NfsStatus.INVAL
+
+
+def test_rename():
+    s = Stack()
+    created = call(s, NfsRequest(NfsProc.CREATE, fh=s.server.root_fh, name="a"))
+    call(s, NfsRequest(NfsProc.WRITE, fh=created.fh, offset=0, data=b"v"))
+    moved = call(s, NfsRequest(NfsProc.RENAME, fh=s.server.root_fh, name="a",
+                               to_fh=s.server.root_fh, to_name="b"))
+    assert moved.ok
+    assert s.server_fs.fs.read("/b") == b"v"
+    assert not s.server_fs.fs.exists("/a")
+
+
+def test_setattr_truncate():
+    s = Stack()
+    created = call(s, NfsRequest(NfsProc.CREATE, fh=s.server.root_fh, name="f"))
+    call(s, NfsRequest(NfsProc.WRITE, fh=created.fh, offset=0, data=b"x" * 100))
+    cut = call(s, NfsRequest(NfsProc.SETATTR, fh=created.fh, size=10))
+    assert cut.ok and cut.attrs.size == 10
+
+
+def test_commit_flushes_server_writeback():
+    s = Stack()
+    created = call(s, NfsRequest(NfsProc.CREATE, fh=s.server.root_fh, name="f"))
+
+    def sequence(env):
+        yield env.process(s.server.handle(NfsRequest(
+            NfsProc.WRITE, fh=created.fh, offset=0,
+            data=b"z" * 65536, stable=False)))
+        staged = s.server_fs.dirty_bytes  # sampled before the flusher drains
+        done = yield env.process(s.server.handle(
+            NfsRequest(NfsProc.COMMIT, fh=created.fh)))
+        return staged, done.ok, s.server_fs.dirty_bytes
+
+    (staged, ok, after), _ = s.run(sequence(s.env))
+    assert staged > 0
+    assert ok
+    assert after == 0
+
+
+def test_read_of_directory_is_isdir():
+    s = Stack()
+    reply = call(s, NfsRequest(NfsProc.READ, fh=s.server.root_fh, count=10))
+    assert reply.status is NfsStatus.ISDIR
+
+
+def test_read_charges_disk_time():
+    s = Stack()
+    s.server_fs.fs.create("/big", size=1 << 20)
+    look = call(s, NfsRequest(NfsProc.LOOKUP, fh=s.server.root_fh, name="big"))
+    _, t = s.run(s.server.handle(
+        NfsRequest(NfsProc.READ, fh=look.fh, offset=0, count=8192)))
+    assert t > s.server.op_cpu  # positioning + transfer included
+
+
+def test_nfsd_pool_bounds_concurrency():
+    s = Stack()
+    s.server_fs.fs.create("/f", size=1 << 20)
+    look = call(s, NfsRequest(NfsProc.LOOKUP, fh=s.server.root_fh, name="f"))
+    finish = []
+
+    def one(env, i):
+        reply = yield env.process(s.server.handle(
+            NfsRequest(NfsProc.READ, fh=look.fh, offset=i * 8192, count=8192)))
+        assert reply.ok
+        finish.append(env.now)
+
+    for i in range(20):
+        s.env.process(one(s.env, i))
+    s.env.run()
+    assert len(finish) == 20
+    # With an 8-thread pool and a single disk arm, finishes are spread out.
+    assert len(set(finish)) > 1

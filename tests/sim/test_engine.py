@@ -1,0 +1,375 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.5)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 2.5
+
+
+def test_timeout_value_passed_to_process():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="hello")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return 42
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 42
+    assert p.ok
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    stamps = []
+
+    def proc(env):
+        for d in (1.0, 2.0, 3.0):
+            yield env.timeout(d)
+            stamps.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert stamps == [1.0, 3.0, 6.0]
+
+
+def test_two_processes_interleave_deterministically():
+    env = Environment()
+    order = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        order.append((name, env.now))
+
+    env.process(proc(env, "a", 2))
+    env.process(proc(env, "b", 1))
+    env.process(proc(env, "c", 3))
+    env.run()
+    assert order == [("b", 1), ("a", 2), ("c", 3)]
+
+
+def test_tie_break_is_creation_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1)
+        order.append(name)
+
+    for name in "abcd":
+        env.process(proc(env, name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_process_waits_on_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(5)
+        return "child-result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return result
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "child-result"
+    assert env.now == 5
+
+
+def test_wait_on_already_finished_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        return 7
+
+    def parent(env, child_proc):
+        yield env.timeout(10)
+        value = yield child_proc
+        return value
+
+    c = env.process(child(env))
+    p = env.process(parent(env, c))
+    env.run()
+    assert p.value == 7
+    assert env.now == 10
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter(env):
+        v = yield gate
+        log.append((env.now, v))
+
+    def opener(env):
+        yield env.timeout(3)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert log == [(3, "open")]
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_fail_throws_into_process():
+    env = Environment()
+    caught = []
+
+    def proc(env, ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    ev = env.event()
+    env.process(proc(env, ev))
+    ev.fail(RuntimeError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unobserved_process_failure_raises_from_run():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        raise ValueError("lost work")
+
+    env.process(proc(env))
+    with pytest.raises(ValueError, match="lost work"):
+        env.run()
+
+
+def test_observed_child_failure_is_delivered_not_reraised():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        raise ValueError("expected")
+
+    def parent(env):
+        try:
+            yield env.process(child(env))
+        except ValueError:
+            return "handled"
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "handled"
+
+
+def test_yield_non_event_is_an_error():
+    env = Environment()
+    caught = []
+
+    def proc(env):
+        try:
+            yield 42
+        except SimulationError as exc:
+            caught.append(str(exc))
+
+    env.process(proc(env))
+    env.run()
+    assert caught and "non-event" in caught[0]
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc(env):
+        values = yield AllOf(env, [env.timeout(1, "a"), env.timeout(3, "b"),
+                                   env.timeout(2, "c")])
+        return values
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == ["a", "b", "c"]
+    assert env.now == 3
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc(env):
+        value = yield AnyOf(env, [env.timeout(5, "slow"), env.timeout(1, "fast")])
+        return value
+
+    p = env.process(proc(env))
+    env.run(until=10)
+    assert p.value == "fast"
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc(env):
+        values = yield AllOf(env, [])
+        return values
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == []
+    assert env.now == 0
+
+
+def test_run_until_stops_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(100)
+
+    env.process(proc(env))
+    env.run(until=10)
+    assert env.now == 10
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.process(iter_timeout(env, 5))
+    env.run()
+    with pytest.raises(ValueError):
+        env.run(until=1)
+
+
+def iter_timeout(env, delay):
+    yield env.timeout(delay)
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            log.append((env.now, intr.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(2)
+        victim.interrupt(cause="wake-up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(2, "wake-up")]
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+    p = env.process(iter_timeout(env, 1))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_is_alive():
+    env = Environment()
+    p = env.process(iter_timeout(env, 4))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.process(iter_timeout(env, 3))
+    assert env.peek() == 0.0  # bootstrap event
+    env.step()
+    assert env.peek() == 3.0
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_immediate_return_process():
+    env = Environment()
+
+    def proc(env):
+        return "instant"
+        yield  # pragma: no cover
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "instant"
+    assert env.now == 0
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_large_fanout_all_complete():
+    env = Environment()
+    done = []
+
+    def proc(env, i):
+        yield env.timeout(i % 7 + 0.1)
+        done.append(i)
+
+    for i in range(500):
+        env.process(proc(env, i))
+    env.run()
+    assert sorted(done) == list(range(500))

@@ -1,0 +1,181 @@
+"""Edge-case tests for the engine: condition failures, interrupts during
+resource waits, store/priority interactions."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    FifoResource,
+    Interrupt,
+    PriorityResource,
+    Store,
+)
+
+
+def test_all_of_propagates_child_failure():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise RuntimeError("child broke")
+
+    def good(env):
+        yield env.timeout(5)
+
+    def parent(env):
+        try:
+            yield AllOf(env, [env.process(bad(env)), env.process(good(env))])
+        except RuntimeError as exc:
+            return str(exc)
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "child broke"
+
+
+def test_any_of_failure_beats_success():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("fast failure")
+
+    def parent(env):
+        try:
+            yield AnyOf(env, [env.process(bad(env)), env.timeout(10, "slow")])
+        except ValueError:
+            return "caught"
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == "caught"
+
+
+def test_interrupt_while_waiting_on_resource():
+    env = Environment()
+    res = FifoResource(env, capacity=1)
+    log = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(100)
+        res.release(req)
+
+    def waiter(env):
+        req = res.request()
+        try:
+            yield req
+        except Interrupt:
+            res.release(req)  # abandon the queued request
+            log.append(("interrupted", env.now))
+
+    env.process(holder(env))
+    victim = env.process(waiter(env))
+
+    def interrupter(env):
+        yield env.timeout(5)
+        victim.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+    assert log == [("interrupted", 5)]
+    assert res.queue_length == 0  # the abandoned request was removed
+
+
+def test_interrupt_cause_none():
+    env = Environment()
+    seen = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(50)
+        except Interrupt as intr:
+            seen.append(intr.cause)
+
+    victim = env.process(sleeper(env))
+
+    def actor(env):
+        yield env.timeout(1)
+        victim.interrupt()
+
+    env.process(actor(env))
+    env.run()
+    assert seen == [None]
+
+
+def test_priority_release_of_queued_request():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    held = res.request(priority=0)
+    queued = res.request(priority=1)
+    res.release(queued)  # cancel before grant
+    res.release(held)
+    assert res.count == 0
+
+
+def test_store_items_survive_across_time():
+    env = Environment()
+    store = Store(env, name="mailbox")
+    store.put("early")
+    got = []
+
+    def late_consumer(env):
+        yield env.timeout(100)
+        item = yield store.get()
+        got.append((item, env.now))
+
+    env.process(late_consumer(env))
+    env.run()
+    assert got == [("early", 100)]
+
+
+def test_nested_all_of():
+    env = Environment()
+
+    def proc(env):
+        inner1 = AllOf(env, [env.timeout(1, "a"), env.timeout(2, "b")])
+        inner2 = AllOf(env, [env.timeout(3, "c")])
+        outer = yield AllOf(env, [inner1, inner2])
+        return outer
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == [["a", "b"], ["c"]]
+    assert env.now == 3
+
+
+def test_event_fail_requires_exception():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_run_is_idempotent_after_drain():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2)
+
+    env.process(proc(env))
+    env.run()
+    env.run()  # nothing left: no-op
+    assert env.now == 2
+
+
+def test_clock_never_goes_backward():
+    env = Environment()
+    stamps = []
+
+    def proc(env, delays):
+        for d in delays:
+            yield env.timeout(d)
+            stamps.append(env.now)
+
+    env.process(proc(env, [3, 0, 1]))
+    env.process(proc(env, [0, 0, 5]))
+    env.run()
+    assert stamps == sorted(stamps)

@@ -1,0 +1,110 @@
+"""Property-based tests on the sparse file and VFS invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.vfs import CHUNK_SIZE, FileSystem, SparseFile
+
+# Offsets spanning a few chunk boundaries keep the search space relevant.
+offsets = st.integers(min_value=0, max_value=3 * CHUNK_SIZE)
+blobs = st.binary(min_size=0, max_size=2 * CHUNK_SIZE)
+
+
+@given(st.lists(st.tuples(offsets, blobs), max_size=12))
+def test_sparse_file_matches_reference_bytearray(ops):
+    """A SparseFile behaves exactly like a flat bytearray under writes."""
+    f = SparseFile()
+    reference = bytearray()
+    for offset, data in ops:
+        f.write(offset, data)
+        if offset + len(data) > len(reference):
+            reference.extend(bytes(offset + len(data) - len(reference)))
+        reference[offset:offset + len(data)] = data
+    assert f.size == len(reference)
+    assert f.read(0, f.size) == bytes(reference)
+
+
+@given(st.lists(st.tuples(offsets, blobs), max_size=8), offsets, offsets)
+def test_sparse_file_partial_reads_consistent(ops, read_off, read_len):
+    f = SparseFile()
+    for offset, data in ops:
+        f.write(offset, data)
+    whole = f.read(0, f.size)
+    window = f.read(read_off, read_len)
+    expected = whole[read_off:read_off + read_len]
+    assert window == expected
+
+
+@given(st.lists(st.tuples(offsets, blobs), max_size=8))
+def test_iter_chunks_reconstructs_content(ops):
+    """Zero-run coalescing in iter_chunks loses no information."""
+    f = SparseFile()
+    for offset, data in ops:
+        f.write(offset, data)
+    rebuilt = bytearray()
+    for part in f.iter_chunks():
+        if isinstance(part, int):
+            rebuilt.extend(bytes(part))
+        else:
+            rebuilt.extend(part)
+    assert bytes(rebuilt) == f.read(0, f.size)
+
+
+@given(st.lists(st.tuples(offsets, blobs), max_size=8),
+       st.integers(min_value=0, max_value=4 * CHUNK_SIZE))
+def test_truncate_then_read_is_prefix(ops, new_size):
+    f = SparseFile()
+    for offset, data in ops:
+        f.write(offset, data)
+    before = f.read(0, f.size)
+    f.truncate(new_size)
+    after = f.read(0, f.size)
+    if new_size <= len(before):
+        assert after == before[:new_size]
+    else:
+        assert after == before + bytes(new_size - len(before))
+
+
+@given(st.lists(st.tuples(offsets, blobs), max_size=6))
+def test_zero_chunk_indices_agree_with_content(ops):
+    f = SparseFile()
+    for offset, data in ops:
+        f.write(offset, data)
+    zeros = set(f.zero_chunk_indices())
+    for idx in range(f.n_chunks()):
+        length = min(CHUNK_SIZE, f.size - idx * CHUNK_SIZE)
+        chunk = f.read(idx * CHUNK_SIZE, length)
+        assert (chunk.count(0) == len(chunk)) == (idx in zeros)
+
+
+names = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+
+
+@given(st.lists(names, min_size=1, max_size=6, unique=True),
+       st.binary(max_size=64))
+@settings(max_examples=50)
+def test_fs_create_write_read_roundtrip(parts, payload):
+    fs = FileSystem()
+    dirpath = ""
+    for part in parts[:-1]:
+        dirpath += "/" + part
+        fs.mkdir(dirpath)
+    path = dirpath + "/" + parts[-1]
+    fs.create(path)
+    fs.write(path, payload)
+    assert fs.read(path) == payload
+    assert fs.lookup(path).size == len(payload)
+
+
+@given(st.lists(names, min_size=2, max_size=8, unique=True))
+@settings(max_examples=50)
+def test_fs_namespace_operations_consistent(all_names):
+    """Create N files, delete every other one; listing matches a set model."""
+    fs = FileSystem()
+    model = set()
+    for name in all_names:
+        fs.create("/" + name)
+        model.add(name)
+    for name in list(model)[::2]:
+        fs.unlink("/" + name)
+        model.discard(name)
+    assert fs.readdir("/") == sorted(model)

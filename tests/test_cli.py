@@ -1,0 +1,38 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import BENCH_TARGETS, build_parser, main
+
+
+def test_parser_accepts_known_targets():
+    parser = build_parser()
+    for target in [*BENCH_TARGETS, "all"]:
+        args = parser.parse_args(["bench", target])
+        assert args.target == target
+
+
+def test_parser_rejects_unknown_target():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["bench", "fig99"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_info_command_prints_calibration(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "Calibration constants" in out
+    assert "38 ms RTT" in out
+    assert "gzip" in out
+
+
+def test_bench_zero_runs_and_reports(capsys):
+    assert main(["bench", "zero"]) == 0
+    out = capsys.readouterr().out
+    assert "65537 NFS reads" in out
+    assert "92" in out

@@ -1,0 +1,42 @@
+"""Smoke tests: the quick example scripts run clean end to end.
+
+(The slower examples — scenario_comparison, cloning_farm,
+live_migration — exercise the same code paths as the benchmarks and are
+exercised there; these three keep the documented entry points honest.)
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "read 32 MB through the proxy chain" in out
+    assert "zero-filtered reads" in out
+    assert "channel fetches     : 1" in out
+
+
+def test_interactive_workspace_example():
+    out = run_example("interactive_workspace.py")
+    assert "workspace ready for alice" in out
+    assert "session closed" in out
+    assert "SIGUSR2" in out
+
+
+def test_figure1_grid_example():
+    out = run_example("figure1_grid.py")
+    assert "VM1 ready" in out and "VM2 ready" in out and "VM3 ready" in out
+    assert "user data landed on the right data servers" in out

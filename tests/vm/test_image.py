@@ -1,0 +1,146 @@
+"""Tests for VM image generation and configuration."""
+
+import pytest
+
+from repro.storage.vfs import CHUNK_SIZE, FileSystem
+from repro.vm.image import (
+    GuestFile,
+    RandomContent,
+    VmConfig,
+    VmImage,
+    make_memory_state,
+    make_virtual_disk,
+)
+
+
+def test_random_content_deterministic():
+    a = RandomContent(seed=5, zero_fraction=0.5)
+    b = RandomContent(seed=5, zero_fraction=0.5)
+    assert a.chunk(3) == b.chunk(3)
+    assert a.is_zero(7) == b.is_zero(7)
+    c = RandomContent(seed=6, zero_fraction=0.5)
+    # Different seeds diverge somewhere in the first few chunks.
+    assert any(a.chunk(i) != c.chunk(i) for i in range(8))
+
+
+def test_random_content_zero_fraction_respected():
+    src = RandomContent(seed=1, zero_fraction=0.9)
+    zeros = sum(src.is_zero(i) for i in range(5000))
+    assert 0.87 < zeros / 5000 < 0.93
+
+
+def test_random_content_is_zero_consistent_with_chunk():
+    src = RandomContent(seed=2, zero_fraction=0.5)
+    for i in range(50):
+        blob = src.chunk(i)
+        assert (blob.count(0) == len(blob)) == src.is_zero(i)
+
+
+def test_random_content_nonzero_is_half_entropy():
+    """Non-zero chunks must be gzip-compressible like real memory pages."""
+    import zlib
+    src = RandomContent(seed=3, zero_fraction=0.0)
+    blob = src.chunk(0)
+    ratio = len(zlib.compress(blob, 6)) / len(blob)
+    assert ratio < 0.65
+
+
+def test_random_content_validates_fraction():
+    with pytest.raises(ValueError):
+        RandomContent(seed=1, zero_fraction=1.5)
+
+
+def test_make_memory_state_sparse_and_sized():
+    mem = make_memory_state(8 * 1024 * 1024, zero_fraction=0.9, seed=4)
+    assert mem.size == 8 * 1024 * 1024
+    assert mem.materialized_chunks == 0  # generated lazily
+
+
+def test_make_virtual_disk_population():
+    disk = make_virtual_disk(4 * 1024 * 1024, populated_fraction=0.5, seed=4)
+    populated = sum(not disk.chunk_is_zero(i) for i in range(disk.n_chunks()))
+    assert 0.4 < populated / disk.n_chunks() < 0.6
+
+
+def test_vm_config_roundtrip():
+    cfg = VmConfig(name="testvm", memory_mb=320, disk_gb=1.6,
+                   os_name="Red Hat Linux 7.3", persistent=False, seed=42)
+    again = VmConfig.from_bytes(cfg.to_bytes())
+    assert again.name == cfg.name
+    assert again.memory_mb == cfg.memory_mb
+    assert abs(again.disk_gb - cfg.disk_gb) < 1e-9
+    assert again.persistent == cfg.persistent
+    assert again.seed == 42
+
+
+def test_vm_config_sizes():
+    cfg = VmConfig(name="x", memory_mb=320, disk_gb=1.6)
+    assert cfg.memory_bytes == 320 * 1024 * 1024
+    assert cfg.disk_bytes == int(1.6 * 1024 ** 3)
+
+
+def test_image_create_layout():
+    fs = FileSystem()
+    image = VmImage.create(fs, "/images/golden", VmConfig(name="g", seed=1,
+                                                          memory_mb=2,
+                                                          disk_gb=0.001))
+    assert fs.exists("/images/golden/vm.cfg")
+    assert fs.exists("/images/golden/mem.vmss")
+    assert fs.exists("/images/golden/disk.vmdk")
+    assert image.memory_inode.data.size == 2 * 1024 * 1024
+
+
+def test_image_load_reads_config_back():
+    fs = FileSystem()
+    VmImage.create(fs, "/images/g", VmConfig(name="g", seed=9, memory_mb=2,
+                                             disk_gb=0.001))
+    loaded = VmImage.load(fs, "/images/g")
+    assert loaded.config.name == "g"
+    assert loaded.config.seed == 9
+
+
+def test_image_metadata_generation():
+    fs = FileSystem()
+    image = VmImage.create(fs, "/i/g", VmConfig(name="g", memory_mb=2,
+                                                disk_gb=0.001, seed=2))
+    meta = image.generate_metadata()
+    assert fs.exists("/i/g/.mem.vmss.gvfs")
+    assert meta.wants_file_channel
+    assert 0.85 < meta.n_zero_blocks / meta.n_blocks < 0.97
+
+
+def test_total_state_bytes():
+    fs = FileSystem()
+    image = VmImage.create(fs, "/i/g", VmConfig(name="g", memory_mb=2,
+                                                disk_gb=0.001, seed=2))
+    assert image.total_state_bytes > 2 * 1024 * 1024
+
+
+def test_guest_file_block_offsets_deterministic_and_aligned():
+    gf = GuestFile("usr/bin/prog", 1024 * 1024)
+    a = gf.block_offsets(64 * 1024 * 1024, 8192, seed=3)
+    b = gf.block_offsets(64 * 1024 * 1024, 8192, seed=3)
+    assert a == b
+    assert len(a) == 128
+    assert all(off % 8192 == 0 for off in a)
+    assert all(0 <= off < 64 * 1024 * 1024 for off in a)
+
+
+def test_guest_file_layout_has_extents():
+    """Blocks come in contiguous runs (extents), not pure random."""
+    gf = GuestFile("data/file", 2 * 1024 * 1024)
+    offsets = gf.block_offsets(512 * 1024 * 1024, 8192, seed=1)
+    contiguous = sum(1 for i in range(1, len(offsets))
+                     if offsets[i] == offsets[i - 1] + 8192)
+    assert contiguous > len(offsets) // 2
+
+
+def test_guest_file_different_names_different_layout():
+    a = GuestFile("a", 256 * 1024).block_offsets(64 * 1024 * 1024, 8192, 1)
+    b = GuestFile("b", 256 * 1024).block_offsets(64 * 1024 * 1024, 8192, 1)
+    assert a != b
+
+
+def test_guest_file_rejects_tiny_disk():
+    with pytest.raises(ValueError):
+        GuestFile("a", 100).block_offsets(0, 8192, 1)

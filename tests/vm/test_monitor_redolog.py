@@ -1,0 +1,281 @@
+"""Tests for the VM monitor, guest I/O, redo logs and suspend/resume."""
+
+import pytest
+
+from repro.core.session import LocalMount
+from repro.net.topology import Host
+from repro.sim import Environment
+from repro.storage.vfs import FileSystem
+from repro.vm.image import GuestFile, VmConfig, VmImage
+from repro.vm.monitor import VirtualMachine, VmMonitor
+from repro.vm.redolog import RedoLog
+
+
+SMALL = VmConfig(name="small", memory_mb=2, disk_gb=0.002, seed=3,
+                 persistent=False)
+SMALL_PERSISTENT = VmConfig(name="smallp", memory_mb=2, disk_gb=0.002,
+                            seed=3, persistent=True)
+
+
+class Rig:
+    def __init__(self, config=SMALL):
+        self.env = Environment()
+        self.host = Host(self.env, "compute", cpus=2)
+        self.mount = LocalMount(self.host.local)
+        self.image = VmImage.create(self.host.local.fs, "/vm", config)
+        self.monitor = VmMonitor(self.env, self.host)
+
+    def run(self, gen):
+        box = {}
+
+        def wrapper(env):
+            box["value"] = yield env.process(gen)
+            box["t"] = env.now
+
+        self.env.process(wrapper(self.env))
+        self.env.run()
+        return box["value"], box["t"]
+
+
+def test_resume_reads_entire_memory_state_and_verifies():
+    rig = Rig()
+    golden = rig.image.memory_inode.data
+    vm, t = rig.run(rig.monitor.resume(rig.mount, "/vm",
+                                       verify_against=golden))
+    assert isinstance(vm, VirtualMachine)
+    assert vm.running
+    assert t >= VmMonitor.DEVICE_INIT_SECONDS
+
+
+def test_resume_nonpersistent_gets_redo_log():
+    rig = Rig()
+    vm, _ = rig.run(rig.monitor.resume(rig.mount, "/vm"))
+    assert vm.redo is not None
+    assert rig.host.local.fs.exists("/vm/disk.vmdk.REDO")
+
+
+def test_resume_persistent_has_no_redo():
+    rig = Rig(SMALL_PERSISTENT)
+    vm, _ = rig.run(rig.monitor.resume(rig.mount, "/vm"))
+    assert vm.redo is None
+
+
+def test_resume_custom_redo_placement():
+    rig = Rig()
+    rig.host.local.fs.mkdir("/redos")
+    vm, _ = rig.run(rig.monitor.resume(
+        rig.mount, "/vm", redo_dir="/redos", redo_name="clone1.REDO"))
+    assert rig.host.local.fs.exists("/redos/clone1.REDO")
+
+
+def test_guest_read_scattered_blocks():
+    rig = Rig(SMALL_PERSISTENT)
+    vm, _ = rig.run(rig.monitor.resume(rig.mount, "/vm"))
+    gf = GuestFile("app/data", 128 * 1024)
+
+    def proc(env):
+        yield env.process(vm.read_guest_file(gf))
+
+    rig.run(proc(rig.env))
+    assert vm.disk_bytes_read == 128 * 1024
+    assert vm.guest_cache_misses == 16
+
+
+def test_guest_cache_absorbs_rereads():
+    rig = Rig(SMALL_PERSISTENT)
+    vm, _ = rig.run(rig.monitor.resume(rig.mount, "/vm"))
+    gf = GuestFile("app/data", 64 * 1024)
+
+    def proc(env):
+        yield env.process(vm.read_guest_file(gf))
+        before = vm.disk_bytes_read
+        yield env.process(vm.read_guest_file(gf))
+        return before
+
+    before, _ = rig.run(proc(rig.env))
+    assert vm.disk_bytes_read == before  # all re-reads from guest cache
+    assert vm.guest_cache_hits == 8
+
+
+def test_guest_cache_capacity_evicts():
+    rig = Rig(SMALL_PERSISTENT)
+    vm, _ = rig.run(rig.monitor.resume(rig.mount, "/vm"))
+    vm._guest_cache_capacity = 4
+    gf = GuestFile("app/big", 128 * 1024)  # 16 blocks > capacity 4
+
+    def proc(env):
+        yield env.process(vm.read_guest_file(gf))
+        yield env.process(vm.read_guest_file(gf))
+
+    rig.run(proc(rig.env))
+    assert vm.guest_cache_hits == 0  # everything evicted before re-read
+    assert vm.disk_bytes_read == 2 * 128 * 1024
+
+
+def test_guest_write_persistent_goes_to_vmdk():
+    rig = Rig(SMALL_PERSISTENT)
+    vm, _ = rig.run(rig.monitor.resume(rig.mount, "/vm"))
+    gf = GuestFile("out/result", 32 * 1024)
+
+    def proc(env):
+        yield env.process(vm.write_guest_file(gf))
+
+    rig.run(proc(rig.env))
+    assert vm.disk_bytes_written == 32 * 1024
+    assert vm.redo is None
+
+
+def test_guest_write_nonpersistent_goes_to_redo():
+    rig = Rig()
+    vm, _ = rig.run(rig.monitor.resume(rig.mount, "/vm"))
+    gf = GuestFile("out/result", 32 * 1024)
+
+    def proc(env):
+        yield env.process(vm.write_guest_file(gf))
+
+    rig.run(proc(rig.env))
+    assert vm.redo.blocks_logged == 4
+    # The golden virtual disk is untouched.
+    assert rig.image.disk_inode.data.materialized_chunks == 0
+
+
+def test_fraction_reads_prefix():
+    rig = Rig(SMALL_PERSISTENT)
+    vm, _ = rig.run(rig.monitor.resume(rig.mount, "/vm"))
+    gf = GuestFile("app/data", 160 * 1024)  # 20 blocks
+
+    def proc(env):
+        yield env.process(vm.read_guest_file(gf, fraction=0.5))
+
+    rig.run(proc(rig.env))
+    assert vm.disk_bytes_read == 80 * 1024
+
+
+def test_suspend_writes_whole_memory_state():
+    rig = Rig()
+    vm, _ = rig.run(rig.monitor.resume(rig.mount, "/vm"))
+    before = rig.image.memory_inode.mtime
+    _, t = rig.run(rig.monitor.suspend(rig.mount, "/vm", vm))
+    assert not vm.running
+    assert rig.image.memory_inode.mtime > before
+    assert rig.image.memory_inode.data.size == SMALL.memory_bytes
+
+
+def test_resume_detects_corruption():
+    rig = Rig()
+    sabotaged = rig.image.memory_inode.data.copy()
+    sabotaged.write(4096, b"\xFFtampered")
+    box = {}
+
+    def wrapper(env):
+        try:
+            yield env.process(rig.monitor.resume(rig.mount, "/vm",
+                                                 verify_against=sabotaged))
+        except AssertionError as exc:
+            box["error"] = str(exc)
+
+    rig.env.process(wrapper(rig.env))
+    rig.env.run()
+    assert "corruption" in box["error"]
+
+
+# -- RedoLog directly ---------------------------------------------------------
+
+class FakeFile:
+    """Minimal in-memory file with the open-file generator interface."""
+
+    def __init__(self, env, content=b""):
+        self.env = env
+        self.buf = bytearray(content)
+
+    @property
+    def size(self):
+        return len(self.buf)
+
+    def read(self, offset, count):
+        yield self.env.timeout(0)
+        return bytes(self.buf[offset:offset + count])
+
+    def write(self, offset, data):
+        yield self.env.timeout(0)
+        self._put(offset, data)
+
+    def write_sync(self, offset, data):
+        yield self.env.timeout(0)
+        self._put(offset, data)
+
+    def _put(self, offset, data):
+        if offset + len(data) > len(self.buf):
+            self.buf.extend(bytes(offset + len(data) - len(self.buf)))
+        self.buf[offset:offset + len(data)] = data
+
+
+def run_env(env, gen):
+    box = {}
+
+    def wrapper(env):
+        box["value"] = yield env.process(gen)
+
+    env.process(wrapper(env))
+    env.run()
+    return box["value"]
+
+
+def test_redolog_read_through_base():
+    env = Environment()
+    base = FakeFile(env, b"B" * 1024)
+    redo = RedoLog(env, base, FakeFile(env), block_size=256)
+    assert run_env(env, redo.read(100, 50)) == b"B" * 50
+    assert redo.reads_from_base == 1
+
+
+def test_redolog_write_then_read_overlay():
+    env = Environment()
+    base = FakeFile(env, b"B" * 1024)
+    redo = RedoLog(env, base, FakeFile(env), block_size=256)
+    run_env(env, redo.write(256, b"X" * 256))
+    assert run_env(env, redo.read(256, 256)) == b"X" * 256
+    assert run_env(env, redo.read(0, 256)) == b"B" * 256
+    assert base.buf[256:512] == b"B" * 256  # base untouched
+
+
+def test_redolog_partial_write_copies_base_block():
+    env = Environment()
+    base = FakeFile(env, b"B" * 1024)
+    redo = RedoLog(env, base, FakeFile(env), block_size=256)
+    run_env(env, redo.write(300, b"zz"))
+    data = run_env(env, redo.read(256, 256))
+    assert data[:44] == b"B" * 44
+    assert data[44:46] == b"zz"
+    assert data[46:] == b"B" * 210
+
+
+def test_redolog_spanning_write():
+    env = Environment()
+    base = FakeFile(env, b"B" * 2048)
+    redo = RedoLog(env, base, FakeFile(env), block_size=256)
+    payload = bytes(range(256)) * 3
+    run_env(env, redo.write(200, payload))
+    assert run_env(env, redo.read(200, len(payload))) == payload
+    assert redo.overlaid_blocks() == 4
+
+
+def test_redolog_counts_and_log_growth():
+    env = Environment()
+    base = FakeFile(env, b"B" * 4096)
+    redo = RedoLog(env, base, FakeFile(env), block_size=256)
+    run_env(env, redo.write(0, b"A" * 512))
+    run_env(env, redo.write(0, b"C" * 512))  # rewrite: no new log blocks
+    assert redo.blocks_logged == 2
+    assert redo.log_bytes == 512
+
+
+def test_redolog_rejects_bad_args():
+    env = Environment()
+    with pytest.raises(ValueError):
+        RedoLog(env, FakeFile(env), FakeFile(env), block_size=0)
+    redo = RedoLog(env, FakeFile(env, b"x"), FakeFile(env), block_size=256)
+    with pytest.raises(ValueError):
+        run_env(env, redo.read(-1, 4))
+    with pytest.raises(ValueError):
+        run_env(env, redo.write(-1, b"a"))

@@ -1,0 +1,85 @@
+"""Tests for I/O trace recording and replay."""
+
+import pytest
+
+from repro.vm.image import GuestFile
+from repro.workloads.base import ComputeStep, Phase, ReadStep, Workload, WriteStep
+from repro.workloads.latex import LatexBenchmark
+from repro.workloads.traces import (
+    IoTrace,
+    TraceEvent,
+    TraceRecorder,
+    trace_to_workload,
+)
+from tests.workloads.test_workloads import make_vm, run
+
+
+def test_recorder_captures_operations_in_order():
+    env, vm = make_vm()
+    recorder = TraceRecorder(vm, "app")
+    w = Workload("t", [Phase("p", [
+        ReadStep(GuestFile("a", 16 * 1024)),
+        ComputeStep(1.5),
+        WriteStep(GuestFile("b", 8 * 1024), fraction=0.5),
+    ])])
+    run(env, w.run(recorder))
+    kinds = [e.kind for e in recorder.trace.events]
+    assert kinds == ["read", "compute", "write"]
+    assert recorder.trace.events[0].name == "a"
+    assert recorder.trace.events[1].seconds == 1.5
+    assert recorder.trace.events[2].fraction == 0.5
+
+
+def test_recorder_is_timing_transparent():
+    """Recording adds no simulated time."""
+    w_factory = lambda: LatexBenchmark(iterations=2)
+
+    env1, vm1 = make_vm()
+    bare = run(env1, w_factory().run(vm1))
+
+    env2, vm2 = make_vm()
+    recorded = run(env2, w_factory().run(TraceRecorder(vm2, "latex")))
+
+    assert recorded.total_seconds == pytest.approx(bare.total_seconds)
+
+
+def test_trace_aggregates():
+    trace = IoTrace("app", [
+        TraceEvent("read", "a", 100, 1.0),
+        TraceEvent("read", "b", 200, 0.5),
+        TraceEvent("write", "c", 50, 1.0),
+        TraceEvent("compute", seconds=2.0),
+    ])
+    assert trace.n_events == 4
+    assert trace.bytes_read() == 200
+    assert trace.bytes_written() == 50
+    assert trace.compute_seconds() == 2.0
+
+
+def test_trace_serialization_roundtrip():
+    trace = IoTrace("app", [TraceEvent("read", "x", 100, 0.25),
+                            TraceEvent("compute", seconds=1.0)])
+    again = IoTrace.from_bytes(trace.to_bytes())
+    assert again.application == "app"
+    assert again.events == trace.events
+    with pytest.raises(ValueError):
+        IoTrace.from_bytes(b"garbage\n{}")
+
+
+def test_replay_reproduces_recorded_run():
+    """Record a run, replay the trace in an identical fresh VM: same
+    simulated duration (the trace is a faithful workload)."""
+    env1, vm1 = make_vm()
+    recorder = TraceRecorder(vm1, "latex")
+    original = run(env1, LatexBenchmark(iterations=2).run(recorder))
+
+    replay = trace_to_workload(recorder.trace)
+    env2, vm2 = make_vm()
+    replayed = run(env2, replay.run(vm2))
+    assert replayed.total_seconds == pytest.approx(original.total_seconds)
+
+
+def test_trace_to_workload_rejects_unknown_kind():
+    trace = IoTrace("app", [TraceEvent("mystery")])
+    with pytest.raises(ValueError):
+        trace_to_workload(trace)

@@ -1,0 +1,162 @@
+"""Tests for the workload framework and the three benchmark models."""
+
+import pytest
+
+from repro.core.session import LocalMount
+from repro.net.topology import Host
+from repro.sim import Environment
+from repro.vm.image import GuestFile, VmConfig, VmImage
+from repro.vm.monitor import VirtualMachine, VmMonitor
+from repro.workloads.base import (
+    ComputeStep,
+    Phase,
+    ReadStep,
+    Workload,
+    WriteStep,
+)
+from repro.workloads.kernelcompile import KernelCompile
+from repro.workloads.latex import LatexBenchmark
+from repro.workloads.specseis import SpecSeis
+
+
+def make_vm(config=None):
+    env = Environment()
+    host = Host(env, "c", cpus=2)
+    cfg = config or VmConfig(name="w", memory_mb=4, disk_gb=0.01,
+                             persistent=True, seed=5)
+    image = VmImage.create(host.local.fs, "/vm", cfg)
+    mount = LocalMount(host.local)
+    box = {}
+
+    def opener(env):
+        f = yield env.process(mount.open("/vm/disk.vmdk"))
+        box["file"] = f
+
+    env.process(opener(env))
+    env.run()
+    vm = VirtualMachine(env, host, cfg, box["file"], redo=None)
+    return env, vm
+
+
+def run(env, gen):
+    box = {}
+
+    def wrapper(env):
+        box["value"] = yield env.process(gen)
+
+    env.process(wrapper(env))
+    env.run()
+    return box["value"]
+
+
+def test_workload_runs_phases_in_order():
+    env, vm = make_vm()
+    w = Workload("test", [
+        Phase("a", [ComputeStep(1.0)]),
+        Phase("b", [ComputeStep(2.0), ReadStep(GuestFile("f", 16 * 1024))]),
+    ])
+    result = run(env, w.run(vm))
+    assert [p.name for p in result.phases] == ["a", "b"]
+    assert result.phases[0].seconds == pytest.approx(1.0)
+    assert result.phases[1].seconds > 2.0
+    assert result.total_seconds == sum(p.seconds for p in result.phases)
+
+
+def test_workload_phase_seconds_lookup():
+    env, vm = make_vm()
+    w = Workload("test", [Phase("only", [ComputeStep(0.5)])])
+    result = run(env, w.run(vm))
+    assert result.phase_seconds("only") == pytest.approx(0.5)
+    with pytest.raises(KeyError):
+        result.phase_seconds("missing")
+
+
+def test_write_step_writes_to_disk():
+    env, vm = make_vm()
+    w = Workload("test", [Phase("w", [WriteStep(GuestFile("o", 32 * 1024))])])
+    run(env, w.run(vm))
+    assert vm.disk_bytes_written == 32 * 1024
+
+
+def test_unknown_step_type_rejected():
+    env, vm = make_vm()
+    w = Workload("test", [Phase("x", ["not-a-step"])])
+    box = {}
+
+    def wrapper(env):
+        try:
+            yield env.process(w.run(vm))
+        except TypeError as exc:
+            box["err"] = str(exc)
+
+    env.process(wrapper(env))
+    env.run()
+    assert "unknown step" in box["err"]
+
+
+def test_total_compute_seconds():
+    w = Workload("t", [Phase("a", [ComputeStep(1.5), ComputeStep(2.5)]),
+                       Phase("b", [ReadStep(GuestFile("f", 1024))])])
+    assert w.total_compute_seconds == pytest.approx(4.0)
+
+
+# -- the three paper benchmarks ------------------------------------------------
+
+def test_specseis_structure():
+    w = SpecSeis()
+    assert [p.name for p in w.phases] == ["phase1", "phase2", "phase3",
+                                          "phase4"]
+    # Phase 4 is the compute-heavy one.
+    def cpu(phase):
+        return sum(s.seconds for s in phase.steps
+                   if isinstance(s, ComputeStep))
+    assert cpu(w.phases[3]) > 2 * cpu(w.phases[0])
+    # Phase 1 writes the large trace file.
+    writes = [s for s in w.phases[0].steps if isinstance(s, WriteStep)]
+    assert writes and writes[0].gfile.size == SpecSeis.TRACE_BYTES
+
+
+def test_latex_structure():
+    w = LatexBenchmark()
+    assert len(w.phases) == LatexBenchmark.ITERATIONS
+    # Every iteration re-reads the same binaries (re-use across iters).
+    first_reads = {s.gfile.name for s in w.phases[0].steps
+                   if isinstance(s, ReadStep)}
+    later_reads = {s.gfile.name for s in w.phases[10].steps
+                   if isinstance(s, ReadStep)}
+    assert "usr/bin/tex-suite" in first_reads & later_reads
+    # But patches a different input each time.
+    assert w.phases[0].steps[0].gfile.name != w.phases[1].steps[0].gfile.name
+
+
+def test_latex_custom_iterations():
+    w = LatexBenchmark(iterations=3)
+    assert len(w.phases) == 3
+
+
+def test_kernel_compile_structure():
+    w = KernelCompile()
+    assert [p.name for p in w.phases] == [
+        "make dep", "make bzImage", "make modules", "make modules_install"]
+    assert w.guest_cache_bytes == 48 * 1024 * 1024
+    reads = sum(1 for p in w.phases for s in p.steps
+                if isinstance(s, ReadStep))
+    writes = sum(1 for p in w.phases for s in p.steps
+                 if isinstance(s, WriteStep))
+    assert reads > 100   # many-small-file read pattern
+    assert writes > 50
+
+
+def test_paper_benchmarks_have_guest_cache_hints():
+    assert SpecSeis().guest_cache_bytes is not None
+    assert LatexBenchmark().guest_cache_bytes is not None
+    assert KernelCompile().guest_cache_bytes is not None
+
+
+def test_latex_runs_end_to_end_in_small_vm():
+    env, vm = make_vm()
+    w = LatexBenchmark(iterations=2)
+    result = run(env, w.run(vm))
+    assert len(result.phases) == 2
+    # Second iteration benefits from guest caching of the tool binaries.
+    assert result.phases[1].seconds < result.phases[0].seconds
