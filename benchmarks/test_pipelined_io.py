@@ -1,0 +1,32 @@
+"""Pipelined proxy I/O benchmark: readahead depth sweep + coalesced
+write-back, archived as ``results/pipelined_io.txt``.
+
+Sweeps the proxy's sequential-readahead depth over a cold 8 MB WAN read
+(depth 0 is the pre-pipelining demand path) and flushes a dirty 32 MB
+file both per-block and with run coalescing.
+"""
+
+from conftest import once
+
+from repro.experiments.pipelinedbench import (format_pipelined_io,
+                                              run_flush_comparison,
+                                              run_read_sweep)
+
+
+def test_pipelined_io(benchmark, save_table):
+    box = {}
+
+    def run_all():
+        box["reads"] = run_read_sweep(depths=(0, 1, 4, 8, 16))
+        box["flush"] = run_flush_comparison(file_mb=32)
+
+    once(benchmark, run_all)
+    reads, flush = box["reads"], box["flush"]
+    save_table("pipelined_io", format_pipelined_io(reads, flush))
+    # Depth 8 must at least halve the cold sequential read time.
+    assert reads[8].seconds * 2 <= reads[0].seconds
+    assert reads[8].prefetch_used > 0
+    assert reads[8].prefetch_accuracy > 0.8
+    # Coalescing must cut the flush to under 25% of the per-block RPCs.
+    assert flush.coalesced_rpcs * 4 < flush.per_block_rpcs
+    assert flush.coalesced_seconds < flush.per_block_seconds

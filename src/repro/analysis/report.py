@@ -31,6 +31,7 @@ SECTIONS: Sequence[Tuple[str, str]] = (
     ("ext_gridftp", "Extension — GridFTP channel"),
     ("ext_migration", "Extension — VM migration"),
     ("ext_shared_cache", "Extension — shared read-only cache"),
+    ("pipelined_io", "Extension — pipelined proxy I/O"),
 )
 
 

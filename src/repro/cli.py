@@ -5,7 +5,9 @@ Commands
 ``bench <target>``
     Regenerate one of the paper's figures/tables and print its table.
     Targets: ``fig3`` ``fig4`` ``fig5`` ``fig6`` ``table1`` ``zero``
-    ``all``.
+    ``pipelined`` ``all``.  ``--readahead-depth`` /
+    ``--write-coalesce-bytes`` / ``--write-pipeline-depth`` retune the
+    proxies' pipelined I/O for any target.
 ``info``
     Print the calibration constants shared by every experiment.
 ``report``
@@ -111,6 +113,22 @@ def _bench_zero() -> str:
             f"paper: 60,452 of 65,750 ≈ 92%)")
 
 
+def _bench_pipelined() -> str:
+    from repro.core.config import pipeline_overrides
+    from repro.experiments.pipelinedbench import (format_pipelined_io,
+                                                  run_flush_comparison,
+                                                  run_read_sweep)
+    # The sweep and flush comparison set their own knobs per point, so
+    # the process-wide overrides are folded in explicitly: an overridden
+    # readahead depth joins the sweep, write knobs retune the flush.
+    overrides = pipeline_overrides()
+    depths = sorted({0, 1, 4, 8, 16} | {overrides.get("readahead_depth", 8)})
+    flush = run_flush_comparison(
+        coalesce_bytes=overrides.get("write_coalesce_bytes", 64 * 1024),
+        pipeline_depth=overrides.get("write_pipeline_depth", 4))
+    return format_pipelined_io(run_read_sweep(depths=depths), flush)
+
+
 BENCH_TARGETS: Dict[str, Callable[[], str]] = {
     "fig3": _bench_fig3,
     "fig4": _bench_fig4,
@@ -118,10 +136,22 @@ BENCH_TARGETS: Dict[str, Callable[[], str]] = {
     "fig6": _bench_fig6,
     "table1": _bench_table1,
     "zero": _bench_zero,
+    "pipelined": _bench_pipelined,
 }
 
 
 def _cmd_bench(args) -> int:
+    from repro.core.config import (ProxyConfig, pipeline_overrides,
+                                   set_pipeline_overrides)
+    try:
+        set_pipeline_overrides(
+            readahead_depth=args.readahead_depth,
+            write_coalesce_bytes=args.write_coalesce_bytes,
+            write_pipeline_depth=args.write_pipeline_depth)
+        ProxyConfig(**pipeline_overrides())   # fail fast on bad values
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     targets = (list(BENCH_TARGETS) if args.target == "all"
                else [args.target])
     for target in targets:
@@ -176,6 +206,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="regenerate a figure/table")
     bench.add_argument("target", choices=[*BENCH_TARGETS, "all"])
+    bench.add_argument("--readahead-depth", type=int, default=None,
+                       metavar="N",
+                       help="override proxy sequential-readahead depth "
+                            "(blocks fetched ahead; 0 disables)")
+    bench.add_argument("--write-coalesce-bytes", type=int, default=None,
+                       metavar="B",
+                       help="override max bytes merged into one upstream "
+                            "WRITE during proxy flush (0 = per-block)")
+    bench.add_argument("--write-pipeline-depth", type=int, default=None,
+                       metavar="W",
+                       help="override concurrent upstream WRITEs during "
+                            "proxy flush")
     bench.set_defaults(func=_cmd_bench)
 
     info = sub.add_parser("info", help="print calibration constants")

@@ -111,7 +111,20 @@ class ProxyBlockCache:
         return range(set_index * a, set_index * a + a)
 
     def _frame_offset(self, frame_index: int) -> int:
-        return frame_index * self.config.block_size
+        """Byte offset of a frame in its bank file.
+
+        The layout is *way-major*: all of way 0's frames first (one per
+        set, in set order), then way 1's, and so on.  Consecutive blocks
+        of a file land in consecutive sets (see :meth:`_index`), and a
+        streaming fill of an idle set picks way 0 first — so the fill
+        really does write the bank file sequentially, as the paper's
+        hash design intends, and multi-block helpers can merge a run
+        into a single bank-file I/O.
+        """
+        a = self.config.associativity
+        set_index, way = divmod(frame_index, a)
+        return (way * self.config.sets_per_bank + set_index) \
+            * self.config.block_size
 
     # -- operations ------------------------------------------------------------------
     def lookup(self, key: BlockKey) -> Generator:
@@ -134,10 +147,15 @@ class ProxyBlockCache:
         self.hits += 1
         return CachedBlock(key, data[:frame.length], frame.dirty)
 
-    def insert(self, key: BlockKey, data: bytes,
-               dirty: bool = False) -> Generator:
-        """Process: place a block; returns an evicted dirty
-        :class:`CachedBlock` needing upstream write-back, or None."""
+    def _place(self, key: BlockKey, data: bytes, dirty: bool) -> Generator:
+        """Process: tag a frame for ``key`` without writing the bank file.
+
+        Returns ``(inode, frame_offset, victim)`` — the caller performs
+        (and is charged for) the actual bank-file write, so a run of
+        placements can merge physically adjacent frames into one I/O.
+        Evicting a dirty frame reads the old bytes back (charged here)
+        and hands them out as ``victim``.
+        """
         if self.read_only and dirty:
             raise PermissionError(f"{self.name}: dirty insert into shared "
                                   "read-only cache")
@@ -167,7 +185,9 @@ class ProxyBlockCache:
                         inode, self._frame_offset(frame_index),
                         self.config.block_size)
                     victim = CachedBlock(old.key, old_data[:old.length], True)
-                del self._where[old.key]
+                # The tag may already be gone if the cache was flushed
+                # while this placement waited on the victim read.
+                self._where.pop(old.key, None)
 
         frame = frames[frame_index]
         self._tick += 1
@@ -176,10 +196,86 @@ class ProxyBlockCache:
         frame.dirty = dirty
         frame.lru = self._tick
         self._where[key] = (bank_index, frame_index)
-        yield from self.storage.timed_write_inode(
-            inode, data, self._frame_offset(frame_index))
         self.insertions += 1
+        return inode, self._frame_offset(frame_index), victim
+
+    def insert(self, key: BlockKey, data: bytes,
+               dirty: bool = False) -> Generator:
+        """Process: place a block; returns an evicted dirty
+        :class:`CachedBlock` needing upstream write-back, or None."""
+        inode, offset, victim = yield from self._place(key, data, dirty)
+        yield from self.storage.timed_write_inode(inode, data, offset)
         return victim
+
+    def insert_many(self, items: List[Tuple[BlockKey, bytes]],
+                    dirty: bool = False) -> Generator:
+        """Process: place several blocks, merging physically adjacent
+        frame writes into single bank-file I/Os.
+
+        A readahead window of consecutive blocks lands in consecutive
+        sets of one bank with the way-major frame layout, so the whole
+        window usually costs one disk write instead of one per block.
+        Returns the list of evicted dirty :class:`CachedBlock` victims
+        (possibly empty).
+        """
+        victims: List[CachedBlock] = []
+        writes: List[Tuple[int, object, int, bytes]] = []
+        for key, data in items:
+            inode, offset, victim = yield from self._place(key, data, dirty)
+            if victim is not None:
+                victims.append(victim)
+            writes.append((id(inode), inode, offset, data))
+        writes.sort(key=lambda w: (w[0], w[2]))
+        bs = self.config.block_size
+        i = 0
+        while i < len(writes):
+            _, inode, offset, data = writes[i]
+            merged = bytearray(data)
+            j = i + 1
+            while (j < len(writes) and writes[j][1] is inode
+                   and writes[j][2] == offset + len(merged)
+                   and len(writes[j - 1][3]) == bs):
+                merged += writes[j][3]
+                j += 1
+            yield from self.storage.timed_write_inode(
+                inode, bytes(merged), offset)
+            i = j
+        return victims
+
+    def read_many(self, keys: List[BlockKey]) -> Generator:
+        """Process: fetch several cached blocks for upstream write-back,
+        one bank-file read per physically contiguous frame run.
+
+        Returns the blocks' bytes in ``keys`` order.  Raises
+        :class:`KeyError` if any key is not cached.
+        """
+        frames_at: List[Tuple[object, int, int]] = []   # (inode, offset, len)
+        for key in keys:
+            where = self._where.get(key)
+            if where is None:
+                raise KeyError(f"{key} not cached")
+            bank_index, frame_index = where
+            inode, frames = self._banks[bank_index]
+            frames_at.append((inode, self._frame_offset(frame_index),
+                              frames[frame_index].length))
+        bs = self.config.block_size
+        out: List[bytes] = []
+        i = 0
+        while i < len(frames_at):
+            inode, offset, _ = frames_at[i]
+            j = i + 1
+            while (j < len(frames_at) and frames_at[j][0] is inode
+                   and frames_at[j][1] == offset + (j - i) * bs):
+                j += 1
+            span = yield from self.storage.timed_read_inode(
+                inode, offset, (j - i) * bs)
+            for k in range(i, j):
+                length = frames_at[k][2]
+                start = (k - i) * bs
+                out.append(bytes(span[start:start + length]))
+            i = j
+        self.writebacks += len(keys)
+        return out
 
     def mark_clean(self, key: BlockKey) -> None:
         """Clear the dirty tag after a successful upstream write-back."""
@@ -199,6 +295,43 @@ class ProxyBlockCache:
                 out.append(key)
         out.sort(key=lambda k: (k[0].fsid, k[0].fileid, k[1]))
         return out
+
+    def dirty_runs(self, max_run_bytes: int = 0) -> List[List[BlockKey]]:
+        """Dirty keys grouped into runs mergeable into one upstream WRITE.
+
+        A run is a maximal sequence of dirty blocks of the same file with
+        consecutive block indices, capped at ``max_run_bytes`` total
+        (0 or a value at or below the block size means one block per
+        run).  A short (partial) block can only end a run — merging past
+        it would write stale padding — so runs also break after any
+        frame whose payload is not a full block.
+        """
+        bs = self.config.block_size
+        per_run = max(max_run_bytes // bs, 1)
+        runs: List[List[BlockKey]] = []
+        run: List[BlockKey] = []
+        for key in self.dirty_blocks():
+            if run:
+                prev = run[-1]
+                where = self._where[prev]
+                prev_len = self._banks[where[0]][1][where[1]].length
+                if (key[0] != prev[0] or key[1] != prev[1] + 1
+                        or prev_len != bs or len(run) >= per_run):
+                    runs.append(run)
+                    run = []
+            run.append(key)
+        if run:
+            runs.append(run)
+        return runs
+
+    def is_dirty(self, key: BlockKey) -> bool:
+        where = self._where.get(key)
+        if where is None:
+            return False
+        return self._banks[where[0]][1][where[1]].dirty
+
+    def __contains__(self, key: BlockKey) -> bool:
+        return key in self._where
 
     def read_for_writeback(self, key: BlockKey) -> Generator:
         """Process: fetch a dirty block's bytes for upstream write-back."""
@@ -222,6 +355,16 @@ class ProxyBlockCache:
                 frame.dirty = False
                 frame.length = 0
         self._where.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the counters without disturbing cache contents —
+        benchmarks separate warm-up from the measured phase this way
+        instead of rebuilding the cache."""
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.writebacks = 0
 
     @property
     def cached_blocks(self) -> int:

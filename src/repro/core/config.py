@@ -10,11 +10,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.nfs.protocol import NFS_BLOCK_SIZE, NFS_MAX_BLOCK_SIZE
 
-__all__ = ["CachePolicy", "ProxyCacheConfig", "ProxyConfig"]
+__all__ = ["CachePolicy", "ProxyCacheConfig", "ProxyConfig",
+           "clear_pipeline_overrides", "pipeline_overrides",
+           "set_pipeline_overrides"]
 
 
 class CachePolicy(enum.Enum):
@@ -76,3 +78,65 @@ class ProxyConfig:
     #: Absorb client COMMITs when write-back caching (the middleware,
     #: not the kernel client, decides when data reaches the server).
     absorb_commits: bool = True
+    #: Pipelined I/O — sequential readahead: number of blocks fetched
+    #: ahead of a detected sequential miss run (0 disables readahead).
+    readahead_depth: int = 8
+    #: Consecutive block-cache misses of adjacent blocks before the
+    #: run detector starts prefetching.
+    readahead_min_run: int = 2
+    #: Pipelined I/O — coalesced write-back: maximum bytes merged into
+    #: one upstream WRITE RPC when flushing adjacent dirty blocks
+    #: (values at or below the cache block size mean one RPC per block).
+    write_coalesce_bytes: int = 64 * 1024
+    #: Concurrent upstream write-back RPCs in flight during a flush.
+    write_pipeline_depth: int = 4
+
+    def __post_init__(self):
+        if self.readahead_depth < 0:
+            raise ValueError("readahead_depth must be >= 0")
+        if self.readahead_min_run < 1:
+            raise ValueError("readahead_min_run must be >= 1")
+        if self.write_coalesce_bytes < 0:
+            raise ValueError("write_coalesce_bytes must be >= 0")
+        if self.write_pipeline_depth < 1:
+            raise ValueError("write_pipeline_depth must be >= 1")
+
+
+# -- process-wide pipelined-I/O overrides ------------------------------------
+#
+# Sessions are assembled deep inside experiment drivers, far from any
+# command line; these overrides let the CLI (`repro bench
+# --readahead-depth N --write-coalesce-bytes B`) retune every proxy a
+# run builds without threading knobs through each driver signature.
+
+_PIPELINE_KNOBS = ("readahead_depth", "readahead_min_run",
+                   "write_coalesce_bytes", "write_pipeline_depth")
+_pipeline_overrides: Dict[str, int] = {}
+
+
+def set_pipeline_overrides(**knobs: Optional[int]) -> None:
+    """Install defaults for pipelined-I/O knobs on future proxies.
+
+    Accepts any of ``readahead_depth``, ``readahead_min_run``,
+    ``write_coalesce_bytes``, ``write_pipeline_depth``; ``None`` leaves
+    a knob at its dataclass default.  Applied by
+    :meth:`~repro.core.session.GvfsSession.build` and
+    :class:`~repro.core.session.SecondLevelCache`.
+    """
+    for name, value in knobs.items():
+        if name not in _PIPELINE_KNOBS:
+            raise TypeError(f"unknown pipeline knob: {name}")
+        if value is None:
+            _pipeline_overrides.pop(name, None)
+        else:
+            _pipeline_overrides[name] = value
+
+
+def pipeline_overrides() -> Dict[str, int]:
+    """The currently installed pipelined-I/O knob overrides."""
+    return dict(_pipeline_overrides)
+
+
+def clear_pipeline_overrides() -> None:
+    """Drop all overrides (test isolation)."""
+    _pipeline_overrides.clear()

@@ -30,7 +30,7 @@ from repro.nfs.protocol import FileHandle, NfsProc, NfsRequest
 from repro.sim import AllOf, Environment
 
 __all__ = ["AccessProfile", "AccessProfiler", "ApplicationKnowledgeBase",
-           "Prefetcher"]
+           "Prefetcher", "format_pipeline_report"]
 
 _MAGIC = "GVFS-PROFILE-1"
 
@@ -155,6 +155,7 @@ class Prefetcher:
 
     def _fetch_one(self, fh: FileHandle, index: int,
                    block_size: int) -> Generator:
+        self.proxy.register_prefetch((fh, index))
         reply = yield from self.proxy.upstream.call(NfsRequest(
             NfsProc.READ, fh=fh, offset=index * block_size,
             count=block_size,
@@ -167,6 +168,8 @@ class Prefetcher:
                                                         victim.data)
             self.blocks_fetched += 1
         else:
+            self.proxy.stats.prefetch_failed += 1
+            self.proxy._prefetched.discard((fh, index))
             self.blocks_skipped += 1
 
     def prefetch(self, profile: AccessProfile) -> Generator:
@@ -184,3 +187,26 @@ class Prefetcher:
             jobs = [self.env.process(self._fetch_one(
                 fh, index, profile.block_size)) for fh, index in batch]
             yield AllOf(self.env, jobs)
+
+
+def format_pipeline_report(proxy) -> str:
+    """Human-readable summary of a proxy's pipelined-I/O counters.
+
+    Covers prefetch accuracy (readahead + profile replays), miss
+    coalescing, and write coalescing — the middleware's view of whether
+    the pipelined path is earning its keep for this session.
+    """
+    s = proxy.stats
+    lines = [
+        f"pipelined I/O — {proxy.config.name}",
+        f"  readahead windows : {s.readahead_windows}",
+        f"  prefetch issued   : {s.prefetch_issued}",
+        f"  prefetch used     : {s.prefetch_used}",
+        f"  prefetch failed   : {s.prefetch_failed}",
+        f"  prefetch wasted   : {s.prefetch_wasted}",
+        f"  prefetch accuracy : {s.prefetch_accuracy:.1%}",
+        f"  coalesced misses  : {s.coalesced_misses}",
+        f"  merged WRITE rpcs : {s.merged_write_rpcs}"
+        f" ({s.merged_write_blocks} blocks)",
+    ]
+    return "\n".join(lines)

@@ -35,7 +35,7 @@ from repro.nfs.protocol import (
     NfsStatus,
 )
 from repro.nfs.rpc import RpcClient
-from repro.sim import Environment
+from repro.sim import AllOf, Environment
 
 __all__ = ["GvfsProxy", "ProxyStats"]
 
@@ -54,6 +54,27 @@ class ProxyStats:
     absorbed_commits: int = 0
     writebacks: int = 0
     channel_fetches: int = 0
+    # Pipelined I/O: miss coalescing, readahead, coalesced write-back.
+    coalesced_misses: int = 0       # READs that waited on an in-flight fetch
+    prefetch_issued: int = 0        # blocks scheduled by readahead/profiles
+    prefetch_used: int = 0          # prefetched blocks later hit by demand
+    prefetch_failed: int = 0        # prefetches that returned no data
+    readahead_windows: int = 0      # window launches by the run detector
+    merged_write_rpcs: int = 0      # coalesced upstream WRITEs during flush
+    merged_write_blocks: int = 0    # blocks those WRITEs carried
+
+    @property
+    def prefetch_wasted(self) -> int:
+        """Prefetched blocks never consumed by a demand read (so far)."""
+        return max(self.prefetch_issued - self.prefetch_used
+                   - self.prefetch_failed, 0)
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """used / issued — the fraction of readahead that paid off."""
+        if self.prefetch_issued == 0:
+            return 0.0
+        return self.prefetch_used / self.prefetch_issued
 
 
 class GvfsProxy:
@@ -81,6 +102,15 @@ class GvfsProxy:
         self._metadata: Dict[FileHandle, Optional[FileMetadata]] = {}
         # fh -> in-progress channel fetch gate (concurrent READs wait).
         self._fetching: Dict[FileHandle, object] = {}
+        # (fh, block) -> in-progress block fetch gate: N concurrent READs
+        # of one uncached block coalesce onto a single upstream RPC.
+        self._block_gates: Dict[Tuple[FileHandle, int], object] = {}
+        # Blocks installed by readahead and not yet demanded (accuracy).
+        self._prefetched: set = set()
+        # Sequential-run detector state, per file handle.
+        self._last_miss: Dict[FileHandle, int] = {}
+        self._miss_run: Dict[FileHandle, int] = {}
+        self._ra_frontier: Dict[FileHandle, int] = {}
         # fh -> size as locally extended by absorbed writes.
         self._local_size: Dict[FileHandle, int] = {}
         # Observers of the incoming request stream (access profilers,
@@ -268,19 +298,42 @@ class GvfsProxy:
         if within + count > bs:
             return (yield from self._forward(request))
         key = (fh, idx)
-        hit = yield from self.block_cache.lookup(key)
-        if hit is not None:
-            self.stats.block_cache_hits += 1
-            data = hit.data[within:within + count]
-            eof = len(hit.data) < bs and within + count >= len(hit.data)
-            return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh, data=data,
-                            count=len(data), eof=eof)
+        while True:
+            hit = yield from self.block_cache.lookup(key)
+            if hit is not None:
+                self.stats.block_cache_hits += 1
+                self._consume_prefetch(key, meta)
+                data = hit.data[within:within + count]
+                eof = len(hit.data) < bs and within + count >= len(hit.data)
+                return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh, data=data,
+                                count=len(data), eof=eof)
+            gate = self._block_gates.get(key)
+            if gate is None:
+                break
+            # Another READ (demand or readahead) already has this block
+            # on the wire: wait for its frame instead of issuing a
+            # second upstream RPC for the same bytes.
+            self.stats.coalesced_misses += 1
+            yield gate
         self.stats.block_cache_misses += 1
-        upstream_req = request.replace(offset=idx * bs, count=bs)
-        reply = yield from self._forward(upstream_req)
+        self._note_demand_miss(fh, idx, meta)
+        gate = self.env.event()
+        self._block_gates[key] = gate
+        victim = None
+        try:
+            upstream_req = request.replace(offset=idx * bs, count=bs)
+            reply = yield from self._forward(upstream_req)
+            if reply.ok:
+                victim = yield from self.block_cache.insert(
+                    key, reply.data, dirty=False)
+        finally:
+            # Always release the gate, even when the upstream RPC fails —
+            # a failed fetch must never wedge later READs of this block.
+            if self._block_gates.get(key) is gate:
+                del self._block_gates[key]
+            gate.succeed()
         if not reply.ok:
             return reply
-        victim = yield from self.block_cache.insert(key, reply.data, dirty=False)
         if victim is not None:
             yield from self._write_back_block(victim.key, victim.data)
         data = reply.data[within:within + count]
@@ -288,6 +341,117 @@ class GvfsProxy:
         return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh, data=data,
                         count=len(data), eof=eof,
                         attrs=self._patched_attrs(fh, reply.attrs))
+
+    # --------------------------------------------------- sequential readahead
+    def _note_demand_miss(self, fh: FileHandle, idx: int,
+                          meta: Optional[FileMetadata]) -> None:
+        """Run detection on the demand-miss stream: K adjacent misses of
+        one file arm a readahead window ahead of the reader."""
+        if self.config.readahead_depth <= 0 or self.block_cache is None:
+            return
+        if self._last_miss.get(fh) == idx - 1:
+            self._miss_run[fh] = self._miss_run.get(fh, 1) + 1
+        else:
+            self._miss_run[fh] = 1
+            self._ra_frontier.pop(fh, None)   # a new run, a new window
+        self._last_miss[fh] = idx
+        if self._miss_run[fh] >= self.config.readahead_min_run:
+            self._extend_readahead(fh, idx, meta)
+
+    def _consume_prefetch(self, key: Tuple[FileHandle, int],
+                          meta: Optional[FileMetadata]) -> None:
+        """A demand READ hit a prefetched frame: account for it and keep
+        the window ``readahead_depth`` blocks ahead of the reader."""
+        if key not in self._prefetched:
+            return
+        self._prefetched.discard(key)
+        self.stats.prefetch_used += 1
+        self._extend_readahead(key[0], key[1], meta)
+
+    def _extend_readahead(self, fh: FileHandle, idx: int,
+                          meta: Optional[FileMetadata]) -> None:
+        """Schedule background fetches up to ``readahead_depth`` blocks
+        past demand block ``idx`` (skipping cached, in-flight and
+        zero-filled blocks, and stopping at the known file size)."""
+        bs = self._bs()
+        lo = idx + 1
+        frontier = self._ra_frontier.get(fh)
+        if frontier is not None and frontier >= lo:
+            lo = frontier + 1
+        size_limit = None
+        if meta is not None:
+            size_limit = max(meta.file_size, self._local_size.get(fh, 0))
+        idxs = []
+        for i in range(lo, idx + 1 + self.config.readahead_depth):
+            if size_limit is not None and i * bs >= size_limit:
+                break
+            key = (fh, i)
+            if key in self._block_gates or key in self.block_cache:
+                continue
+            if meta is not None and meta.covers_read(i * bs, bs):
+                continue   # zero-filled: answered locally, nothing to fetch
+            idxs.append(i)
+        if not idxs:
+            return
+        self._ra_frontier[fh] = idxs[-1]
+        for i in idxs:
+            self._block_gates[(fh, i)] = self.env.event()
+        self.stats.prefetch_issued += len(idxs)
+        self.stats.readahead_windows += 1
+        self.env.process(self._readahead_window(fh, idxs),
+                         name=f"{self.config.name}.readahead")
+
+    def _readahead_window(self, fh: FileHandle, idxs: List[int]) -> Generator:
+        """Background process: fetch a window of blocks concurrently and
+        install it with one merged bank-file write per contiguous run.
+
+        Fire-and-forget: every failure is contained (an unobserved
+        failed process aborts the whole simulation) and every gate is
+        released, so a failed prefetch never wedges later READs.
+        """
+        bs = self._bs()
+        fetched: Dict[int, bytes] = {}
+
+        def fetch_one(i: int) -> Generator:
+            try:
+                reply = yield from self._forward(NfsRequest(
+                    NfsProc.READ, fh=fh, offset=i * bs, count=bs,
+                    credentials=self.config.identity or (0, 0)))
+            except Exception:
+                return
+            if reply.ok and reply.data:
+                fetched[i] = reply.data
+
+        victims: List = []
+        try:
+            yield AllOf(self.env, [self.env.process(fetch_one(i))
+                                   for i in idxs])
+            items = []
+            for i in sorted(fetched):
+                key = (fh, i)
+                self._prefetched.add(key)
+                items.append((key, fetched[i]))
+            if items:
+                victims = yield from self.block_cache.insert_many(items)
+        except Exception:
+            pass
+        finally:
+            self.stats.prefetch_failed += len(idxs) - len(fetched)
+            for i in idxs:
+                gate = self._block_gates.pop((fh, i), None)
+                if gate is not None:
+                    gate.succeed()
+        for victim in victims:
+            try:
+                yield from self._write_back_block(victim.key, victim.data)
+            except Exception:
+                pass   # contained: a prefetch must not crash the session
+
+    def register_prefetch(self, key: Tuple[FileHandle, int]) -> None:
+        """Count an externally issued prefetch (profile-driven
+        :class:`~repro.core.profiler.Prefetcher`) toward accuracy."""
+        self.stats.prefetch_issued += 1
+        self._prefetched.add(key)
 
     # ------------------------------------------------------------------ WRITE
     def _handle_write(self, request: NfsRequest) -> Generator:
@@ -368,17 +532,28 @@ class GvfsProxy:
     def flush(self) -> Generator:
         """Process: middleware-signalled write-back of all dirty state.
 
-        Pushes every dirty block upstream, COMMITs each touched file,
-        and uploads dirty file-cache entries through the channel — the
-        paper's session-end consistency point (O/S signal interface).
+        Dirty blocks go upstream in *coalesced runs*: adjacent blocks of
+        one file merged into a single large WRITE RPC (up to
+        ``write_coalesce_bytes``), with ``write_pipeline_depth`` RPCs in
+        flight.  Each touched file is then COMMITted and dirty
+        file-cache entries upload through the channel — the paper's
+        session-end consistency point (O/S signal interface).
         """
         if self.block_cache is not None:
+            runs = self.block_cache.dirty_runs(
+                self.config.write_coalesce_bytes)
             touched = set()
-            for key in self.block_cache.dirty_blocks():
-                data = yield from self.block_cache.read_for_writeback(key)
-                yield from self._write_back_block(key, data)
-                self.block_cache.mark_clean(key)
-                touched.add(key[0])
+            width = self.config.write_pipeline_depth
+            for start in range(0, len(runs), width):
+                batch = runs[start:start + width]
+                for run in batch:
+                    touched.update(key[0] for key in run)
+                if len(batch) == 1:
+                    yield from self._write_back_run(batch[0])
+                else:
+                    yield AllOf(self.env, [
+                        self.env.process(self._write_back_run(run))
+                        for run in batch])
             for fh in sorted(touched, key=lambda f: (f.fsid, f.fileid)):
                 reply = yield from self.upstream.call(NfsRequest(
                     NfsProc.COMMIT, fh=fh))
@@ -386,6 +561,47 @@ class GvfsProxy:
         if self.channel is not None:
             for entry in self.channel.file_cache.dirty_entries():
                 yield from self.channel.upload(entry.fh)
+        yield self.env.timeout(0)
+
+    def _write_back_run(self, run: List[Tuple[FileHandle, int]]) -> Generator:
+        """Process: push one run of adjacent dirty blocks upstream as
+        merged WRITE RPCs.
+
+        Re-validated as it goes: a concurrent readahead insert can evict
+        (and itself write back) parts of the run while we wait on RPCs,
+        so each pass keeps only still-dirty keys and re-splits on the
+        adjacency that is left.
+        """
+        fh = run[0][0]
+        bs = self._bs()
+        remaining = list(run)
+        while remaining:
+            live = [k for k in remaining if self.block_cache.is_dirty(k)]
+            if not live:
+                return
+            end = 1
+            while end < len(live) and live[end][1] == live[end - 1][1] + 1:
+                end += 1
+            sub, remaining = live[:end], live[end:]
+            datas = yield from self.block_cache.read_many(sub)
+            reply = yield from self.upstream.call(NfsRequest(
+                NfsProc.WRITE, fh=fh, offset=sub[0][1] * bs,
+                data=b"".join(datas), stable=False,
+                credentials=self.config.identity or (0, 0)))
+            reply.raise_for_status(
+                f"write-back {fh} blocks {sub[0][1]}..{sub[-1][1]}")
+            for key in sub:
+                self.block_cache.mark_clean(key)
+            self.stats.writebacks += len(sub)
+            self.stats.merged_write_rpcs += 1
+            self.stats.merged_write_blocks += len(sub)
+
+    def quiesce(self) -> Generator:
+        """Process: wait out every in-flight block fetch (demand or
+        readahead) — cold-cache setup must not race a late insert."""
+        while self._block_gates:
+            key = next(iter(self._block_gates))
+            yield self._block_gates[key]
         yield self.env.timeout(0)
 
     def dirty_state(self) -> Tuple[int, int]:
@@ -402,9 +618,16 @@ class GvfsProxy:
         blocks, files = self.dirty_state()
         if blocks or files:
             raise RuntimeError("invalidate with dirty cached data; flush first")
+        if self._block_gates:
+            raise RuntimeError("invalidate with fetches in flight; "
+                               "quiesce first")
         if self.block_cache is not None:
             self.block_cache.flush_tags()
         if self.channel is not None:
             self.channel.file_cache.clear()
         self._metadata.clear()
         self._local_size.clear()
+        self._prefetched.clear()
+        self._last_miss.clear()
+        self._miss_run.clear()
+        self._ra_frontier.clear()

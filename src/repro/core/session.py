@@ -24,7 +24,11 @@ from typing import Generator, Optional
 
 from repro.core.blockcache import ProxyBlockCache
 from repro.core.channel import CascadedFileChannel, FileChannel, RemoteFileLocator
-from repro.core.config import ProxyCacheConfig, ProxyConfig
+from repro.core.config import (
+    ProxyCacheConfig,
+    ProxyConfig,
+    pipeline_overrides,
+)
 from repro.core.consistency import MiddlewareConsistency
 from repro.core.filecache import ProxyFileCache
 from repro.core.proxy import GvfsProxy
@@ -232,7 +236,8 @@ class SecondLevelCache:
         self.channel = FileChannel(env, locator, scp, file_cache)
         self.proxy = GvfsProxy(env, upstream,
                                ProxyConfig(name=name, cache=cache_config,
-                                           metadata=True),
+                                           metadata=True,
+                                           **pipeline_overrides()),
                                block_cache=self.block_cache,
                                channel=self.channel)
 
@@ -268,6 +273,9 @@ class GvfsSession:
         yield self.env.process(self.flush())
         self.mount.drop_caches()
         if self.client_proxy is not None:
+            # Late readahead fetches must land (or fail) before the
+            # tags drop, or they would repopulate a "cold" cache.
+            yield self.env.process(self.client_proxy.quiesce())
             self.client_proxy.invalidate_caches()
         self.compute_host.local.drop_caches()
 
@@ -354,7 +362,7 @@ class GvfsSession:
             client_proxy = GvfsProxy(
                 env, upstream,
                 ProxyConfig(name=f"s{n}.client-proxy", cache=cache_config,
-                            metadata=metadata),
+                            metadata=metadata, **pipeline_overrides()),
                 block_cache=block_cache, channel=channel)
             loop = LoopbackTransport(env)
             mount_rpc = RpcClient(env, client_proxy, loop, loop,

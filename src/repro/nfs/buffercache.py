@@ -113,6 +113,13 @@ class BufferCache:
         keys.sort(key=lambda k: k[1])
         return keys
 
+    def dirty_keys(self) -> List[BlockKey]:
+        """All dirty blocks, ordered by file then block index, so the
+        flusher can gather adjacent blocks into one WRITE."""
+        keys = list(self._dirty)
+        keys.sort(key=lambda k: (k[0].fsid, k[0].fileid, k[1]))
+        return keys
+
     def any_dirty_key(self) -> Optional[BlockKey]:
         """An arbitrary dirty block (background flusher pick)."""
         for key in self._dirty:

@@ -50,10 +50,17 @@ class MountOptions:
     readahead: int = 0                     # extra blocks prefetched on
                                            # sequential misses (0 = serial)
     nfs_version: int = 3                   # 2 = all writes stable, no COMMIT
+    write_gather_bytes: int = 0            # merge adjacent staged blocks
+                                           # into one WRITE up to this size
+                                           # (0 = one RPC per block)
 
     def __post_init__(self):
         if self.nfs_version not in (2, 3):
             raise ValueError(f"unsupported NFS version: {self.nfs_version}")
+        if self.block_size <= 0:
+            raise ValueError("block_size must be positive")
+        if self.write_gather_bytes < 0:
+            raise ValueError("write_gather_bytes must be >= 0")
 
 
 class NfsClient:
@@ -277,6 +284,15 @@ class MountedNfs:
         """Drain dirty blocks with bounded WRITE concurrency."""
         width = self.options.write_concurrency
         while self.cache.dirty_blocks:
+            if self.options.write_gather_bytes > self.options.block_size:
+                runs = self._gather_runs(self.cache.dirty_keys(), width)
+                if not runs:
+                    break
+                yield AllOf(self.env, [
+                    self.env.process(self._write_run_rpc(keys, data))
+                    for keys, data in runs])
+                self._wake_dirty_waiters()
+                continue
             batch: List[Tuple[FileHandle, int]] = []
             while len(batch) < width:
                 key = self.cache.any_dirty_key()
@@ -302,6 +318,68 @@ class MountedNfs:
             self._wake_dirty_waiters()
         self._flusher_running = False
         self._wake_dirty_waiters()
+
+    def _gather_runs(self, keys: List[Tuple[FileHandle, int]],
+                     limit: int) -> List[Tuple[list, bytes]]:
+        """Group adjacent dirty blocks into up to ``limit`` gathered runs.
+
+        Each run is reserved synchronously (marked clean, registered
+        in-flight) exactly like the per-block path, so racing picks and
+        same-instant close/flush see consistent state.  A run breaks at
+        file boundaries, index gaps, short (partial) blocks, and the
+        ``write_gather_bytes`` cap.
+        """
+        bs = self.options.block_size
+        per_run = max(self.options.write_gather_bytes // bs, 1)
+        runs: List[Tuple[list, bytes]] = []
+        current: List[Tuple[Tuple[FileHandle, int], bytes]] = []
+
+        def close() -> None:
+            if not current:
+                return
+            run_keys = [k for k, _ in current]
+            for k in run_keys:
+                self.cache.mark_clean(k)
+                self._inflight.add(k)
+            runs.append((run_keys, b"".join(d for _, d in current)))
+            current.clear()
+
+        for key in keys:
+            if not self.cache.is_dirty(key):
+                continue   # flushed by a racing pass since listed
+            data = self.cache.peek(key)
+            if data is None:
+                continue
+            if current and (key[0] != current[-1][0][0]
+                            or key[1] != current[-1][0][1] + 1
+                            or len(current[-1][1]) != bs
+                            or len(current) >= per_run):
+                close()
+                if len(runs) >= limit:
+                    return runs
+            current.append((key, data))
+        close()
+        return runs
+
+    def _write_run_rpc(self, run_keys: List[Tuple[FileHandle, int]],
+                       data: bytes) -> Generator:
+        """One gathered WRITE RPC covering several adjacent staged blocks."""
+        fh, idx0 = run_keys[0]
+        for key in run_keys:
+            self._inflight.add(key)
+        try:
+            stable = self.options.nfs_version == 2
+            reply = yield from self.rpc.call(NfsRequest(
+                NfsProc.WRITE, fh=fh, offset=idx0 * self.options.block_size,
+                data=data, stable=stable))
+            reply.raise_for_status(
+                f"write {fh} blocks {idx0}..{run_keys[-1][1]}")
+        finally:
+            for key in run_keys:
+                self._inflight.discard(key)
+            waiters, self._inflight_waiters = self._inflight_waiters, []
+            for gate in waiters:
+                gate.succeed()
 
     def _write_rpc(self, fh: FileHandle, idx: int, data: bytes) -> Generator:
         key = (fh, idx)
@@ -346,18 +424,27 @@ class MountedNfs:
         """Process: push a file's dirty blocks, then COMMIT."""
         keys = self.cache.dirty_keys_for(fh)
         width = max(self.options.write_concurrency, 1)
-        for i in range(0, len(keys), width):
-            writes = []
-            for key in keys[i:i + width]:
-                data = self.cache.peek(key)
-                if data is None:
-                    continue
-                self.cache.mark_clean(key)
-                self._inflight.add(key)
-                writes.append(self.env.process(
-                    self._write_rpc(key[0], key[1], data)))
-            if writes:
-                yield AllOf(self.env, writes)
+        if self.options.write_gather_bytes > self.options.block_size:
+            while True:
+                runs = self._gather_runs(keys, width)
+                if not runs:
+                    break
+                yield AllOf(self.env, [
+                    self.env.process(self._write_run_rpc(rk, data))
+                    for rk, data in runs])
+        else:
+            for i in range(0, len(keys), width):
+                writes = []
+                for key in keys[i:i + width]:
+                    data = self.cache.peek(key)
+                    if data is None:
+                        continue
+                    self.cache.mark_clean(key)
+                    self._inflight.add(key)
+                    writes.append(self.env.process(
+                        self._write_rpc(key[0], key[1], data)))
+                if writes:
+                    yield AllOf(self.env, writes)
         yield from self._wait_inflight(fh)
         if self.options.nfs_version == 2:
             return  # v2: writes were stable; there is no COMMIT

@@ -217,6 +217,118 @@ def test_hit_timing_charged_via_storage():
     assert elapsed > 0  # disk access charged
 
 
+def count_bank_writes(cache, calls):
+    orig = cache.storage.timed_write_inode
+
+    def counting(inode, data, offset=0, sync=False):
+        calls.append((offset, len(data)))
+        return orig(inode, data, offset, sync)
+
+    cache.storage.timed_write_inode = counting
+
+
+def count_bank_reads(cache, calls):
+    orig = cache.storage.timed_read_inode
+
+    def counting(inode, offset, count):
+        calls.append((offset, count))
+        return orig(inode, offset, count)
+
+    cache.storage.timed_read_inode = counting
+
+
+def test_insert_many_merges_adjacent_frames_into_one_bank_write():
+    env, cache = make_cache()
+    calls = []
+    count_bank_writes(cache, calls)
+    items = [((FH, i), bytes([i]) * 8192) for i in range(8)]
+    victims = run(env, cache.insert_many(items))
+    assert victims == []
+    # Blocks 0..7 fill way 0 of eight consecutive sets in one bank:
+    # physically contiguous, so the whole window is one 64 KB write.
+    assert calls == [(0, 8 * 8192)]
+    for i in range(8):
+        assert run(env, cache.lookup((FH, i))).data == bytes([i]) * 8192
+
+
+def test_insert_many_does_not_merge_past_short_blocks():
+    env, cache = make_cache()
+    calls = []
+    count_bank_writes(cache, calls)
+    items = [((FH, 0), b"a" * 8192), ((FH, 1), b"b" * 100),
+             ((FH, 2), b"c" * 8192)]
+    run(env, cache.insert_many(items))
+    # The short middle block ends its span; merging past it would
+    # write stale padding over block 2's frame.
+    assert len(calls) == 2
+
+
+def test_read_many_merges_contiguous_frames_and_preserves_order():
+    env, cache = make_cache()
+    items = [((FH, i), bytes([65 + i]) * 8192) for i in range(8)]
+    run(env, cache.insert_many(items, dirty=True))
+    calls = []
+    count_bank_reads(cache, calls)
+    datas = run(env, cache.read_many([key for key, _ in items]))
+    assert calls == [(0, 8 * 8192)]
+    assert datas == [data for _, data in items]
+    assert cache.writebacks == 8
+    with pytest.raises(KeyError):
+        run(env, cache.read_many([(FH, 99)]))
+
+
+def test_dirty_runs_group_adjacent_blocks_and_cap():
+    env, cache = make_cache()
+    for i in (0, 1, 2, 4, 5):
+        run(env, cache.insert((FH, i), bytes([i]) * 8192, dirty=True))
+    run(env, cache.insert((FH2, 0), b"x" * 8192, dirty=True))
+    runs = cache.dirty_runs(max_run_bytes=2 * 8192)
+    assert runs == [[(FH, 0), (FH, 1)], [(FH, 2)],
+                    [(FH, 4), (FH, 5)], [(FH2, 0)]]
+    # A cap at or below the block size degenerates to one block per run.
+    assert all(len(r) == 1 for r in cache.dirty_runs(0))
+
+
+def test_dirty_runs_break_after_short_block():
+    env, cache = make_cache()
+    run(env, cache.insert((FH, 0), b"s" * 100, dirty=True))
+    run(env, cache.insert((FH, 1), b"f" * 8192, dirty=True))
+    assert cache.dirty_runs(64 * 1024) == [[(FH, 0)], [(FH, 1)]]
+
+
+def test_reset_stats_keeps_contents():
+    env, cache = make_cache()
+    run(env, cache.insert((FH, 0), b"a"))
+    run(env, cache.lookup((FH, 0)))
+    run(env, cache.lookup((FH, 1)))
+    assert cache.hits and cache.misses and cache.insertions
+    cache.reset_stats()
+    assert (cache.hits, cache.misses, cache.insertions,
+            cache.evictions, cache.writebacks) == (0, 0, 0, 0, 0)
+    assert cache.cached_blocks == 1
+
+
+def test_flush_tags_during_dirty_eviction_does_not_corrupt():
+    env, cache = make_cache(capacity_bytes=4 * 2 * 8192, n_banks=4,
+                            associativity=2)
+    same = [k for k in [(FileHandle("img", i), 0) for i in range(100)]
+            if cache._index(k) == cache._index((FileHandle("img", 0), 0))]
+    a, b, c = same[:3]
+    run(env, cache.insert(a, b"dirty-a" * 100, dirty=True))
+    run(env, cache.insert(b, b"b"))
+    cache.storage.drop_caches()   # victim read-back must hit the disk
+
+    def racer(env):
+        yield env.timeout(0)      # insert below is now parked on that read
+        cache.flush_tags()
+
+    env.process(racer(env))
+    done = env.process(cache.insert(c, b"c" * 8192))
+    env.run()
+    assert done.value is None or done.value.key is None
+    assert run(env, cache.lookup(c)).data == b"c" * 8192
+
+
 def test_config_requires_cache_attachment():
     from repro.core.proxy import GvfsProxy
     from repro.core.config import ProxyConfig, ProxyCacheConfig

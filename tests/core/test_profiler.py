@@ -162,11 +162,13 @@ def test_profile_then_prefetch_accelerates_cold_session():
 def test_prefetch_skips_already_cached_blocks():
     rig = Rig(metadata=False)
     path = "/images/golden/disk.vmdk"
-    read_blocks(rig, path, [0, 1])
+    # Non-adjacent blocks: the proxy's sequential-readahead run detector
+    # must not fire and pre-populate the block we expect to be fetched.
+    read_blocks(rig, path, [0, 2])
     fileid = rig.endpoint.export.fs.lookup(path).fileid
     profile = AccessProfile("app", (("images", fileid, 0),
-                                    ("images", fileid, 1),
-                                    ("images", fileid, 2)))
+                                    ("images", fileid, 2),
+                                    ("images", fileid, 4)))
 
     def proc(env):
         prefetcher = Prefetcher(env, rig.session.client_proxy)
