@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Standalone wall-clock perf harness runner.
+
+Equivalent to ``python -m repro.cli perf`` but runnable directly::
+
+    PYTHONPATH=src python benchmarks/perfharness.py --out BENCH_pr2.json \
+        --baseline results/BENCH_pr2_baseline.json
+
+The harness itself lives in :mod:`repro.experiments.perf`: it drives
+fixed workloads (cold/warm cloning, a kernel-compile session, a flush
+storm), measures wall-clock events/sec and blocks/sec, and asserts the
+*simulated* timings are bit-identical to the golden signatures in
+``benchmarks/golden_timings.json`` — a hot-path optimization must never
+change a simulated result.
+
+This file is also a pytest module: ``pytest benchmarks/perfharness.py``
+runs the quick-scale harness and fails on golden drift, which is what
+the CI perf-smoke job executes.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+
+def test_perf_smoke_quick():
+    """Quick-scale harness run: golden simulated times must hold."""
+    from repro.experiments import perf
+    report = perf.run_harness(["cold_clone", "flush_storm"], quick=True)
+    assert report.golden_ok, "\n".join(report.golden_diffs)
+    for name, sample in report.samples.items():
+        assert sample.events > 0 and sample.blocks > 0, name
+
+
+if __name__ == "__main__":
+    from repro.cli import main
+    sys.exit(main(["perf", *sys.argv[1:]]))

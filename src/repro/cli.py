@@ -8,6 +8,11 @@ Commands
     ``pipelined`` ``all``.  ``--readahead-depth`` /
     ``--write-coalesce-bytes`` / ``--write-pipeline-depth`` retune the
     proxies' pipelined I/O for any target.
+``perf``
+    Measure wall-clock simulator throughput (events/sec, blocks/sec)
+    on fixed workloads and assert simulated-time invariance against
+    golden timings.  ``--out BENCH_pr2.json`` archives the numbers;
+    ``--baseline`` computes speedups against an earlier archive.
 ``info``
     Print the calibration constants shared by every experiment.
 ``report``
@@ -163,6 +168,48 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    from repro.experiments import perf
+    names = (args.workloads.split(",") if args.workloads
+             else list(perf.WORKLOADS))
+    unknown = [n for n in names if n not in perf.WORKLOADS]
+    if unknown:
+        print(f"error: unknown workload(s) {unknown}; "
+              f"choose from {sorted(perf.WORKLOADS)}", file=sys.stderr)
+        return 2
+    golden_path = args.golden or perf.GOLDEN_PATH
+    report = perf.run_harness(names, quick=args.quick,
+                              golden_path=None if args.update_golden
+                              else golden_path,
+                              baseline_path=args.baseline)
+    if args.update_golden:
+        perf.save_golden(
+            {perf._golden_key(n, args.quick): s.sim_signature
+             for n, s in report.samples.items()}, golden_path)
+        print(f"[golden timings updated in {golden_path}]")
+    print(perf.format_report(report))
+    if args.out:
+        import json
+        with open(args.out, "w") as f:
+            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"[written to {args.out}]")
+    if report.golden_ok is False:
+        print("error: simulated-time results drifted from golden timings "
+              "(a perf change must be timing-neutral)", file=sys.stderr)
+        return 1
+    if args.max_slowdown:
+        slow = [f"{name}: {1 / spd:.2f}x slower than baseline"
+                for name, spd in report.speedup.items()
+                if spd < 1.0 / args.max_slowdown]
+        if slow:
+            print("error: wall-clock regression beyond "
+                  f"{args.max_slowdown:g}x:\n  " + "\n  ".join(slow),
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import assemble_report
     report = assemble_report(args.results_dir)
@@ -219,6 +266,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override concurrent upstream WRITEs during "
                             "proxy flush")
     bench.set_defaults(func=_cmd_bench)
+
+    perf = sub.add_parser(
+        "perf",
+        help="measure wall-clock simulator throughput (events/s, "
+             "blocks/s) on fixed workloads and check simulated-time "
+             "invariance against golden timings")
+    perf.add_argument("--workloads", default=None, metavar="W1,W2",
+                      help="comma-separated workload names "
+                           "(default: all; see docs/performance.md)")
+    perf.add_argument("--out", default=None, metavar="FILE",
+                      help="write the measurements as JSON "
+                           "(e.g. BENCH_pr2.json)")
+    perf.add_argument("--baseline", default=None, metavar="FILE",
+                      help="earlier BENCH_*.json to compute speedups "
+                           "against")
+    perf.add_argument("--golden", default=None, metavar="FILE",
+                      help="golden simulated-time signatures "
+                           "(default: benchmarks/golden_timings.json)")
+    perf.add_argument("--update-golden", action="store_true",
+                      help="record current simulated times as golden "
+                           "instead of checking them")
+    perf.add_argument("--quick", action="store_true",
+                      help="shrunken workloads (CI smoke scale)")
+    perf.add_argument("--max-slowdown", type=float, default=None,
+                      metavar="X",
+                      help="fail (exit 1) when any workload's wall clock "
+                           "regresses more than X times vs --baseline "
+                           "(CI gate; baseline scale must match)")
+    perf.set_defaults(func=_cmd_perf)
 
     info = sub.add_parser("info", help="print calibration constants")
     info.set_defaults(func=_cmd_info)

@@ -36,14 +36,23 @@ __all__ = ["CachedBlock", "ProxyBlockCache"]
 BlockKey = Tuple[FileHandle, int]
 
 
-@dataclass
-class _Frame:
-    """In-memory tag of one cache frame (data lives in the bank file)."""
+class _Bank:
+    """One cache bank: the bank file's inode plus array-backed frame
+    tags (struct-of-arrays — a bank touch reads one list slot instead
+    of chasing a per-frame object).
 
-    key: Optional[BlockKey] = None
-    length: int = 0          # payload bytes (short blocks at EOF)
-    dirty: bool = False
-    lru: int = 0             # last-touch tick
+    ``keys[i]``/``lengths[i]``/``dirty[i]``/``lru[i]`` describe frame
+    ``i``; a free frame has ``keys[i] is None``.
+    """
+
+    __slots__ = ("inode", "keys", "lengths", "dirty", "lru")
+
+    def __init__(self, inode: Inode, n_frames: int):
+        self.inode = inode
+        self.keys: List[Optional[BlockKey]] = [None] * n_frames
+        self.lengths: List[int] = [0] * n_frames
+        self.dirty: List[bool] = [False] * n_frames
+        self.lru: List[int] = [0] * n_frames
 
 
 @dataclass(frozen=True)
@@ -67,10 +76,14 @@ class ProxyBlockCache:
         self.name = name
         self.read_only = read_only
         self._tick = 0
-        # bank index -> (inode of bank file, frames list); created on demand.
-        self._banks: Dict[int, Tuple[Inode, List[_Frame]]] = {}
+        # bank index -> _Bank (inode + frame tag arrays); created on demand.
+        self._banks: Dict[int, _Bank] = {}
         # Reverse map for O(1) lookup: key -> (bank, frame index).
         self._where: Dict[BlockKey, Tuple[int, int]] = {}
+        # (fsid, fileid, group) -> bank: the crc32-of-string placement
+        # hash is stable but costly, and every block of a group maps to
+        # the same bank, so the digest is computed once per group.
+        self._bank_memo: Dict[Tuple[str, int, int], int] = {}
         if not storage.fs.exists(self._root()):
             storage.fs.mkdir(self._root(), parents=True)
         # Statistics
@@ -89,26 +102,24 @@ class ProxyBlockCache:
         fh, block = key
         sets = self.config.sets_per_bank
         group = block // sets                       # which run of blocks
-        # Stable across processes (Python's str hash is randomized).
-        digest = zlib.crc32(f"{fh.fsid}:{fh.fileid}:{group}".encode())
-        bank = digest % self.config.n_banks
-        set_index = block % sets
-        return bank, set_index
+        memo_key = (fh.fsid, fh.fileid, group)
+        bank = self._bank_memo.get(memo_key)
+        if bank is None:
+            # Stable across processes (Python's str hash is randomized).
+            digest = zlib.crc32(f"{fh.fsid}:{fh.fileid}:{group}".encode())
+            bank = digest % self.config.n_banks
+            self._bank_memo[memo_key] = bank
+        return bank, block % sets
 
-    def _bank(self, bank_index: int) -> Tuple[Inode, List[_Frame]]:
-        entry = self._banks.get(bank_index)
-        if entry is None:
+    def _bank(self, bank_index: int) -> _Bank:
+        bank = self._banks.get(bank_index)
+        if bank is None:
             # "Cache banks are created on the local disk by the proxy on
             # demand."
             inode = self.storage.fs.create(f"{self._root()}/bank{bank_index:04d}")
-            frames = [_Frame() for _ in range(self.config.frames_per_bank)]
-            entry = (inode, frames)
-            self._banks[bank_index] = entry
-        return entry
-
-    def _set_frames(self, frames: List[_Frame], set_index: int) -> range:
-        a = self.config.associativity
-        return range(set_index * a, set_index * a + a)
+            bank = _Bank(inode, self.config.frames_per_bank)
+            self._banks[bank_index] = bank
+        return bank
 
     def _frame_offset(self, frame_index: int) -> int:
         """Byte offset of a frame in its bank file.
@@ -138,14 +149,17 @@ class ProxyBlockCache:
             self.misses += 1
             return None
         bank_index, frame_index = where
-        inode, frames = self._banks[bank_index]
-        frame = frames[frame_index]
+        bank = self._banks[bank_index]
         self._tick += 1
-        frame.lru = self._tick
+        bank.lru[frame_index] = self._tick
         data = yield from self.storage.timed_read_inode(
-            inode, self._frame_offset(frame_index), self.config.block_size)
+            bank.inode, self._frame_offset(frame_index),
+            self.config.block_size)
         self.hits += 1
-        return CachedBlock(key, data[:frame.length], frame.dirty)
+        length = bank.lengths[frame_index]
+        if length != len(data):
+            data = data[:length]
+        return CachedBlock(key, data, bank.dirty[frame_index])
 
     def _place(self, key: BlockKey, data: bytes, dirty: bool) -> Generator:
         """Process: tag a frame for ``key`` without writing the bank file.
@@ -162,7 +176,8 @@ class ProxyBlockCache:
         if len(data) > self.config.block_size:
             raise ValueError(f"block larger than frame: {len(data)}")
         bank_index, set_index = self._index(key)
-        inode, frames = self._bank(bank_index)
+        bank = self._bank(bank_index)
+        keys = bank.keys
         victim: Optional[CachedBlock] = None
 
         existing = self._where.get(key)
@@ -170,34 +185,38 @@ class ProxyBlockCache:
             frame_index = existing[1]
         else:
             # Choose a frame in the set: free first, else LRU.
+            a = self.config.associativity
+            base = set_index * a
             frame_index = None
-            candidates = self._set_frames(frames, set_index)
-            for i in candidates:
-                if frames[i].key is None:
+            for i in range(base, base + a):
+                if keys[i] is None:
                     frame_index = i
                     break
             if frame_index is None:
-                frame_index = min(candidates, key=lambda i: frames[i].lru)
-                old = frames[frame_index]
+                lru = bank.lru
+                frame_index = min(range(base, base + a),
+                                  key=lru.__getitem__)
                 self.evictions += 1
-                if old.dirty:
+                if bank.dirty[frame_index]:
                     old_data = yield from self.storage.timed_read_inode(
-                        inode, self._frame_offset(frame_index),
+                        bank.inode, self._frame_offset(frame_index),
                         self.config.block_size)
-                    victim = CachedBlock(old.key, old_data[:old.length], True)
+                    victim = CachedBlock(
+                        keys[frame_index],
+                        old_data[:bank.lengths[frame_index]], True)
                 # The tag may already be gone if the cache was flushed
-                # while this placement waited on the victim read.
-                self._where.pop(old.key, None)
+                # while this placement waited on the victim read, so
+                # re-read it rather than trusting a pre-wait snapshot.
+                self._where.pop(keys[frame_index], None)
 
-        frame = frames[frame_index]
         self._tick += 1
-        frame.key = key
-        frame.length = len(data)
-        frame.dirty = dirty
-        frame.lru = self._tick
+        keys[frame_index] = key
+        bank.lengths[frame_index] = len(data)
+        bank.dirty[frame_index] = dirty
+        bank.lru[frame_index] = self._tick
         self._where[key] = (bank_index, frame_index)
         self.insertions += 1
-        return inode, self._frame_offset(frame_index), victim
+        return bank.inode, self._frame_offset(frame_index), victim
 
     def insert(self, key: BlockKey, data: bytes,
                dirty: bool = False) -> Generator:
@@ -227,24 +246,31 @@ class ProxyBlockCache:
             writes.append((id(inode), inode, offset, data))
         writes.sort(key=lambda w: (w[0], w[2]))
         bs = self.config.block_size
+        n = len(writes)
         i = 0
-        while i < len(writes):
+        while i < n:
             _, inode, offset, data = writes[i]
-            merged = bytearray(data)
             j = i + 1
-            while (j < len(writes) and writes[j][1] is inode
-                   and writes[j][2] == offset + len(merged)
+            while (j < n and writes[j][1] is inode
+                   and writes[j][2] == offset + (j - i) * bs
                    and len(writes[j - 1][3]) == bs):
-                merged += writes[j][3]
                 j += 1
-            yield from self.storage.timed_write_inode(
-                inode, bytes(merged), offset)
+            # A single-frame run writes its block without re-buffering;
+            # longer runs join once (no incremental bytearray growth).
+            if j > i + 1:
+                data = b"".join(w[3] for w in writes[i:j])
+            yield from self.storage.timed_write_inode(inode, data, offset)
             i = j
         return victims
 
     def read_many(self, keys: List[BlockKey]) -> Generator:
         """Process: fetch several cached blocks for upstream write-back,
         one bank-file read per physically contiguous frame run.
+
+        A short (partial) frame ends its run — the same rule as
+        :meth:`dirty_runs` — and the merged read's extent is trimmed to
+        the last frame's payload, so a span read never pulls bytes past
+        the data it actually hands back.
 
         Returns the blocks' bytes in ``keys`` order.  Raises
         :class:`KeyError` if any key is not cached.
@@ -255,24 +281,33 @@ class ProxyBlockCache:
             if where is None:
                 raise KeyError(f"{key} not cached")
             bank_index, frame_index = where
-            inode, frames = self._banks[bank_index]
-            frames_at.append((inode, self._frame_offset(frame_index),
-                              frames[frame_index].length))
+            bank = self._banks[bank_index]
+            frames_at.append((bank.inode, self._frame_offset(frame_index),
+                              bank.lengths[frame_index]))
         bs = self.config.block_size
+        n = len(frames_at)
         out: List[bytes] = []
         i = 0
-        while i < len(frames_at):
+        while i < n:
             inode, offset, _ = frames_at[i]
             j = i + 1
-            while (j < len(frames_at) and frames_at[j][0] is inode
-                   and frames_at[j][1] == offset + (j - i) * bs):
+            while (j < n and frames_at[j][0] is inode
+                   and frames_at[j][1] == offset + (j - i) * bs
+                   and frames_at[j - 1][2] == bs):
                 j += 1
+            span_bytes = (j - 1 - i) * bs + frames_at[j - 1][2]
             span = yield from self.storage.timed_read_inode(
-                inode, offset, (j - i) * bs)
-            for k in range(i, j):
-                length = frames_at[k][2]
-                start = (k - i) * bs
-                out.append(bytes(span[start:start + length]))
+                inode, offset, span_bytes)
+            if j == i + 1:
+                # Single frame: the read is already exactly the payload.
+                out.append(span if len(span) == frames_at[i][2]
+                           else span[:frames_at[i][2]])
+            else:
+                view = memoryview(span)
+                for k in range(i, j):
+                    length = frames_at[k][2]
+                    start = (k - i) * bs
+                    out.append(bytes(view[start:start + length]))
             i = j
         self.writebacks += len(keys)
         return out
@@ -282,16 +317,16 @@ class ProxyBlockCache:
         where = self._where.get(key)
         if where is None:
             return
-        _, frames = self._banks[where[0]]
-        frames[where[1]].dirty = False
+        self._banks[where[0]].dirty[where[1]] = False
 
     def dirty_blocks(self, fh: Optional[FileHandle] = None) -> List[BlockKey]:
         """Keys of dirty frames (optionally restricted to one file)."""
         out = []
+        banks = self._banks
         for key, (bank_index, frame_index) in self._where.items():
             if fh is not None and key[0] != fh:
                 continue
-            if self._banks[bank_index][1][frame_index].dirty:
+            if banks[bank_index].dirty[frame_index]:
                 out.append(key)
         out.sort(key=lambda k: (k[0].fsid, k[0].fileid, k[1]))
         return out
@@ -314,7 +349,7 @@ class ProxyBlockCache:
             if run:
                 prev = run[-1]
                 where = self._where[prev]
-                prev_len = self._banks[where[0]][1][where[1]].length
+                prev_len = self._banks[where[0]].lengths[where[1]]
                 if (key[0] != prev[0] or key[1] != prev[1] + 1
                         or prev_len != bs or len(run) >= per_run):
                     runs.append(run)
@@ -328,7 +363,7 @@ class ProxyBlockCache:
         where = self._where.get(key)
         if where is None:
             return False
-        return self._banks[where[0]][1][where[1]].dirty
+        return self._banks[where[0]].dirty[where[1]]
 
     def __contains__(self, key: BlockKey) -> bool:
         return key in self._where
@@ -339,21 +374,24 @@ class ProxyBlockCache:
         if where is None:
             raise KeyError(f"{key} not cached")
         bank_index, frame_index = where
-        inode, frames = self._banks[bank_index]
-        frame = frames[frame_index]
+        bank = self._banks[bank_index]
         data = yield from self.storage.timed_read_inode(
-            inode, self._frame_offset(frame_index), self.config.block_size)
+            bank.inode, self._frame_offset(frame_index),
+            self.config.block_size)
         self.writebacks += 1
-        return data[:frame.length]
+        length = bank.lengths[frame_index]
+        return data if length == len(data) else data[:length]
 
     def flush_tags(self) -> None:
         """Drop every frame (cold-cache setup).  Dirty data is lost —
         callers flush upstream first, as the experiments do."""
-        for _, frames in self._banks.values():
-            for frame in frames:
-                frame.key = None
-                frame.dirty = False
-                frame.length = 0
+        for bank in self._banks.values():
+            n = len(bank.keys)
+            # Slice-assign so in-flight placements holding a reference
+            # to these lists observe the cleared tags.
+            bank.keys[:] = [None] * n
+            bank.dirty[:] = [False] * n
+            bank.lengths[:] = [0] * n
         self._where.clear()
 
     def reset_stats(self) -> None:

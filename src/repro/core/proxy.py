@@ -19,7 +19,7 @@ below: requests and replies are ordinary protocol messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.core.blockcache import ProxyBlockCache
@@ -62,6 +62,14 @@ class ProxyStats:
     readahead_windows: int = 0      # window launches by the run detector
     merged_write_rpcs: int = 0      # coalesced upstream WRITEs during flush
     merged_write_blocks: int = 0    # blocks those WRITEs carried
+
+    def reset(self) -> None:
+        """Zero every counter (mirrors :meth:`ProxyBlockCache.reset_stats`).
+
+        Benchmarks separate a warm-up phase from the measured phase by
+        resetting the counters instead of rebuilding the session."""
+        for f in fields(self):
+            setattr(self, f.name, f.default)
 
     @property
     def prefetch_wasted(self) -> int:

@@ -13,6 +13,7 @@ multi-hundred-megabyte sparse file never has to be materialized.
 from __future__ import annotations
 
 import zlib
+from collections import OrderedDict
 from typing import Iterable, Union
 
 __all__ = ["CompressionModel", "GZIP"]
@@ -47,6 +48,18 @@ class CompressionModel:
         self.compress_bps = float(compress_bps)
         self.decompress_bps = float(decompress_bps)
         self.level = level
+        # Per-chunk deflate sizes keyed by the chunk bytes themselves
+        # (exact content equality, so the memo can never lie about a
+        # size).  The same image chunks are sized once per clone and
+        # once per experiment run; deflating them again each time was
+        # the single largest wall-clock cost of the cloning benchmarks.
+        self._size_memo: "OrderedDict[bytes, int]" = OrderedDict()
+        # Sized to cover a paper-scale memory state's non-zero chunks;
+        # a smaller cap would evict the whole working set on every
+        # sequential sizing pass.  The keys are usually the generator's
+        # own memoized chunk objects, so the bytes are not duplicated.
+        self._size_memo_cap = 16384
+        self._zero_rest_memo: dict = {}
 
     # -- size ---------------------------------------------------------------
     def compressed_size(self, chunks: Iterable[Chunk]) -> int:
@@ -59,6 +72,7 @@ class CompressionModel:
         stream) size by <1 % — a conservative error.
         """
         total = 0
+        memo = self._size_memo
         for chunk in chunks:
             if isinstance(chunk, (int,)):
                 if chunk < 0:
@@ -66,9 +80,21 @@ class CompressionModel:
                 whole, rest = divmod(chunk, _ZERO_PIECE)
                 total += whole * _ZERO_PIECE_COMPRESSED
                 if rest:
-                    total += len(zlib.compress(bytes(rest), self.level))
+                    n = self._zero_rest_memo.get(rest)
+                    if n is None:
+                        n = len(zlib.compress(bytes(rest), self.level))
+                        self._zero_rest_memo[rest] = n
+                    total += n
             else:
-                total += len(zlib.compress(chunk, self.level))
+                n = memo.get(chunk)
+                if n is None:
+                    n = len(zlib.compress(chunk, self.level))
+                    memo[chunk] = n
+                    if len(memo) > self._size_memo_cap:
+                        memo.popitem(last=False)
+                else:
+                    memo.move_to_end(chunk)
+                total += n
         return total
 
     def ratio(self, chunks: Iterable[Chunk], original_size: int) -> float:

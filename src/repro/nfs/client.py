@@ -500,8 +500,9 @@ class NfsFile:
 
     # -- reading -----------------------------------------------------------------
     def _fetch_block(self, idx: int) -> Generator:
+        bs = self.mount.options.block_size
         reply = yield from self.mount.rpc.call(NfsRequest(
-            NfsProc.READ, fh=self.fh, offset=idx * self._bs, count=self._bs))
+            NfsProc.READ, fh=self.fh, offset=idx * bs, count=bs))
         reply.raise_for_status(f"read block {idx}")
         self.mount.cache.put_clean((self.fh, idx), reply.data)
         return reply.data
@@ -513,35 +514,55 @@ class NfsFile:
         end = min(offset + count, self.size)
         if offset >= end:
             return b""
+        mount = self.mount
+        bs = mount.options.block_size
+        cache = mount.cache
+        fh = self.fh
         sequential = self._last_read_end == offset
-        out = bytearray()
+        out: Optional[bytearray] = None
         pos = offset
         while pos < end:
-            idx = pos // self._bs
-            block = self.mount.cache.get((self.fh, idx))
+            idx = pos // bs
+            base = idx * bs
+            block = cache.get((fh, idx))
             if block is None:
-                ra = self.mount.options.readahead
+                ra = mount.options.readahead
                 if ra > 0 and sequential:
                     # Prefetch beyond the request, up to the file's last block.
-                    file_last = max((self.size - 1) // self._bs, idx)
+                    file_last = max((self.size - 1) // bs, idx)
                     wanted = [i for i in range(idx, min(idx + 1 + ra,
                                                         file_last + 1))
-                              if self.mount.cache.peek((self.fh, i)) is None]
+                              if cache.peek((fh, i)) is None]
                     fetches = [self.env.process(self._fetch_block(i))
                                for i in wanted]
                     results = yield AllOf(self.env, fetches)
                     block = results[0] if wanted and wanted[0] == idx else \
-                        self.mount.cache.get((self.fh, idx)) or b""
+                        cache.get((fh, idx)) or b""
                 else:
                     block = yield from self._fetch_block(idx)
-            within = pos - idx * self._bs
-            take = min(self._bs - within, end - pos)
+            within = pos - base
+            take = end - pos
+            if take > bs - within:
+                take = bs - within
             # A cached block may be shorter than the file's logical
             # extent there (a hole left by sparse local writes): pad the
             # covered range with zeros, exactly like a real page cache.
-            expected = min(self._bs, max(self.size - idx * self._bs, 0))
+            expected = self.size - base
+            if expected > bs:
+                expected = bs
             if len(block) < expected:
                 block = block + bytes(expected - len(block))
+            if pos == offset and pos + take == end:
+                # The whole request sits inside this block — the
+                # dominant shape of block-aligned VM I/O — so hand back
+                # the cached bytes (or one slice) without assembling a
+                # scratch buffer.
+                self._last_read_end = end
+                if within == 0 and take == len(block):
+                    return block
+                return block[within:within + take]
+            if out is None:
+                out = bytearray()
             out += block[within:within + take]
             pos += take
         self._last_read_end = pos
@@ -565,15 +586,16 @@ class NfsFile:
         """Process: stage ``data`` at ``offset`` (write-behind)."""
         if offset < 0:
             raise ValueError(f"negative write offset: {offset}")
+        bs = self.mount.options.block_size
         pos = offset
         view = memoryview(bytes(data))
         while len(view):
-            idx, within = divmod(pos, self._bs)
-            take = min(self._bs - within, len(view))
+            idx, within = divmod(pos, bs)
+            take = min(bs - within, len(view))
             key = (self.fh, idx)
             existing = self.mount.cache.peek(key)
-            if existing is None and (within != 0 or take != self._bs) \
-                    and idx * self._bs < self.size:
+            if existing is None and (within != 0 or take != bs) \
+                    and idx * bs < self.size:
                 # Partial update of an uncached block within the file:
                 # read-modify-write, like a real page-cache fill.
                 existing = yield from self._fetch_block(idx)
@@ -598,15 +620,16 @@ class NfsFile:
         """
         if offset < 0:
             raise ValueError(f"negative write offset: {offset}")
+        bs = self.mount.options.block_size
         pos = offset
         view = memoryview(bytes(data))
         while len(view):
-            idx, within = divmod(pos, self._bs)
-            take = min(self._bs - within, len(view))
+            idx, within = divmod(pos, bs)
+            take = min(bs - within, len(view))
             key = (self.fh, idx)
             existing = self.mount.cache.peek(key)
-            if existing is None and (within != 0 or take != self._bs) \
-                    and idx * self._bs < self.size:
+            if existing is None and (within != 0 or take != bs) \
+                    and idx * bs < self.size:
                 existing = yield from self._fetch_block(idx)
             base = bytearray(existing or b"")
             if len(base) < within + take:
@@ -614,7 +637,7 @@ class NfsFile:
             base[within:within + take] = view[:take]
             block = bytes(base)
             reply = yield from self.mount.rpc.call(NfsRequest(
-                NfsProc.WRITE, fh=self.fh, offset=idx * self._bs,
+                NfsProc.WRITE, fh=self.fh, offset=idx * bs,
                 data=block, stable=True))
             reply.raise_for_status(f"sync write block {idx}")
             self.mount.cache.put_clean(key, block)

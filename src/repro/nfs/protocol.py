@@ -174,13 +174,21 @@ class NfsRequest:
     credentials: Tuple[int, int] = (0, 0)
 
     def wire_size(self) -> int:
-        """Bytes this call occupies on the wire."""
-        n = RPC_OVERHEAD_BYTES
-        if self.proc is NfsProc.WRITE:
-            n += len(self.data)
-        for s in (self.name, self.target, self.to_name):
-            if s:
-                n += len(s)
+        """Bytes this call occupies on the wire.
+
+        Memoized: one request object crosses every hop of a proxy
+        cascade, and each hop sizes it for both the transport and its
+        stats, so the sum is computed once and cached on the instance.
+        """
+        n = self.__dict__.get("_wire_size")
+        if n is None:
+            n = RPC_OVERHEAD_BYTES
+            if self.proc is NfsProc.WRITE:
+                n += len(self.data)
+            for s in (self.name, self.target, self.to_name):
+                if s:
+                    n += len(s)
+            object.__setattr__(self, "_wire_size", n)
         return n
 
     def replace(self, **kwargs) -> "NfsRequest":
@@ -214,13 +222,17 @@ class NfsReply:
         return self.status is NfsStatus.OK
 
     def wire_size(self) -> int:
-        """Bytes this reply occupies on the wire."""
-        n = RPC_OVERHEAD_BYTES
-        if self.proc is NfsProc.READ:
-            n += len(self.data)
-        if self.target:
-            n += len(self.target)
-        n += sum(len(e) + 8 for e in self.entries)
+        """Bytes this reply occupies on the wire (memoized, see
+        :meth:`NfsRequest.wire_size`)."""
+        n = self.__dict__.get("_wire_size")
+        if n is None:
+            n = RPC_OVERHEAD_BYTES
+            if self.proc is NfsProc.READ:
+                n += len(self.data)
+            if self.target:
+                n += len(self.target)
+            n += sum(len(e) + 8 for e in self.entries)
+            object.__setattr__(self, "_wire_size", n)
         return n
 
     def raise_for_status(self, context: str = "") -> "NfsReply":

@@ -69,11 +69,15 @@ class RpcStats:
     by_proc: dict = field(default_factory=dict)
 
     def record(self, request: NfsRequest, reply: NfsReply, elapsed: float) -> None:
+        # Hot per-call bookkeeping: wire_size() is memoized on the
+        # messages, and the proc name is resolved once.
         self.calls += 1
         self.bytes_sent += request.wire_size()
         self.bytes_received += reply.wire_size()
         self.time_waiting += elapsed
-        self.by_proc[request.proc.name] = self.by_proc.get(request.proc.name, 0) + 1
+        by_proc = self.by_proc
+        name = request.proc.name
+        by_proc[name] = by_proc.get(name, 0) + 1
 
 
 class RpcClient:

@@ -14,6 +14,7 @@ schedules.  Nothing in the engine reads the wall clock.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Generator, Iterable, Optional
 
 __all__ = [
@@ -94,7 +95,7 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -103,7 +104,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception to be thrown into waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -125,18 +126,31 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` seconds after creation."""
+    """An event that fires ``delay`` seconds after creation.
+
+    Construction is the single hottest allocation in the simulator (one
+    per timed hop of every process), so it writes the event fields and
+    schedules itself inline instead of chaining through
+    ``Event.__init__`` and ``Environment._schedule``.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay)
+        self._ok = True
+        self._scheduled = True
+        self._processed = False
+        self.delay = delay
+        if delay == 0.0:
+            env._immediate.append((env._seq, self))
+        else:
+            heapq.heappush(env._queue, (env._now + delay, env._seq, self))
+        env._seq += 1
 
 
 class Process(Event):
@@ -304,6 +318,13 @@ class Environment:
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list = []
+        # Zero-delay events (gate releases, resource grants, process
+        # completions) outnumber timed ones in RPC-heavy models; they
+        # bypass the heap through this FIFO of ``(seq, event)`` pairs.
+        # Every entry fires at the current instant, and the global
+        # ``_seq`` totally orders same-time events across both queues,
+        # so the schedule is identical to an all-heap engine.
+        self._immediate: deque = deque()
         self._seq = 0
         self._active_process: Optional[Process] = None
 
@@ -316,6 +337,11 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently executing, if any."""
         return self._active_process
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events scheduled so far (wall-clock perf metric)."""
+        return self._seq
 
     # -- factories ----------------------------------------------------------
     def event(self) -> Event:
@@ -343,20 +369,42 @@ class Environment:
         if event._scheduled:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        if delay == 0.0:
+            self._immediate.append((self._seq, event))
+        else:
+            heapq.heappush(self._queue, (self._now + delay, self._seq, event))
         self._seq += 1
+
+    def _next_event(self) -> Event:
+        """Pop the globally next event (lowest ``(time, seq)``) and
+        advance the clock to it."""
+        immediate = self._immediate
+        queue = self._queue
+        if immediate:
+            # Heap events at the current instant may predate (lower
+            # seq) the oldest immediate event; everything later-timed
+            # loses to the immediate queue.
+            if queue:
+                when, seq, event = queue[0]
+                if when <= self._now and seq < immediate[0][0]:
+                    heapq.heappop(queue)
+                    return event
+            return immediate.popleft()[1]
+        when, _, event = heapq.heappop(queue)
+        self._now = when
+        return event
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        if self._immediate:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process exactly one event from the queue."""
-        if not self._queue:
+        if not self._queue and not self._immediate:
             raise SimulationError("step() on empty queue")
-        when, _, event = heapq.heappop(self._queue)
-        self._now = when
-        event._run_callbacks()
+        self._next_event()._run_callbacks()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue drains or simulated time reaches ``until``.
@@ -366,15 +414,28 @@ class Environment:
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
-            when = self._queue[0][0]
-            if until is not None and when > until:
-                self._now = until
-                return
-            when, _, event = heapq.heappop(self._queue)
-            self._now = when
+        immediate = self._immediate
+        queue = self._queue
+        pop = heapq.heappop
+        while immediate or queue:
+            if immediate:
+                event = None
+                if queue:
+                    when, seq, ev = queue[0]
+                    if when <= self._now and seq < immediate[0][0]:
+                        pop(queue)
+                        event = ev
+                if event is None:
+                    event = immediate.popleft()[1]
+            else:
+                when = queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    return
+                when, _, event = pop(queue)
+                self._now = when
             event._run_callbacks()
-            if (isinstance(event, Process) and not event._ok
+            if (not event._ok and isinstance(event, Process)
                     and not event._failure_observed):
                 # A failed process nobody was waiting on: a model bug.
                 # Fail loudly instead of silently losing the exception.

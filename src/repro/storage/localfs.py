@@ -101,34 +101,58 @@ class LocalFileSystem:
         """
         size = inode.data.size
         end = min(offset + count, size)
-        sequential = self._scan_pos.get(inode.fileid) == offset
+        fid = inode.fileid
+        sequential = self._scan_pos.get(fid) == offset
+        # Hot loop: one iteration per chunk of every timed read in the
+        # system.  The per-chunk cache bookkeeping is inlined (key
+        # tuples built in place, LRU methods bound once, hit/miss
+        # counters accumulated locally) — the chunk walk order and the
+        # disk yields are unchanged, so timing is identical.
+        cache = self._page_cache
+        move_to_end = cache.move_to_end
+        popitem = cache.popitem
+        capacity = self._page_cache_capacity
+        hits = 0
+        misses = 0
         pos = offset
         miss_start: Optional[int] = None
         while pos < end:
             idx = pos // CHUNK_SIZE
-            key = self._cache_key(inode, idx)
-            chunk_end = min((idx + 1) * CHUNK_SIZE, end)
-            if self._cache_touch(key):
+            key = (fid, idx)
+            chunk_end = (idx + 1) * CHUNK_SIZE
+            if chunk_end > end:
+                chunk_end = end
+            if key in cache:
+                move_to_end(key)
+                hits += 1
                 if miss_start is not None:
                     yield from self.disk.read(inode, miss_start, pos - miss_start)
                     miss_start = None
             else:
+                misses += 1
                 if miss_start is None:
                     miss_start = idx * CHUNK_SIZE
-                self._cache_insert(key)
+                cache[key] = True
+                while len(cache) > capacity:
+                    popitem(last=False)
             pos = chunk_end
+        self.cache_hits += hits
+        self.cache_misses += misses
         if miss_start is not None:
             read_end = end
             if sequential and end < size:
                 read_end = min(end + self.readahead_bytes, size)
                 ra_pos = end
                 while ra_pos < read_end:
-                    self._cache_insert(
-                        self._cache_key(inode, ra_pos // CHUNK_SIZE))
+                    key = (fid, ra_pos // CHUNK_SIZE)
+                    cache[key] = True
+                    move_to_end(key)
+                    while len(cache) > capacity:
+                        popitem(last=False)
                     ra_pos += CHUNK_SIZE
                 self.readahead_fills += 1
             yield from self.disk.read(inode, miss_start, read_end - miss_start)
-        self._scan_pos[inode.fileid] = end
+        self._scan_pos[fid] = end
         return end - max(offset, 0)
 
     def timed_write(self, path: str, data: bytes, offset: int = 0,
@@ -143,12 +167,21 @@ class LocalFileSystem:
         """Process: like :meth:`timed_write` but addressed by inode."""
         inode.data.write(offset, data)
         inode.touch()
+        fid = inode.fileid
+        cache = self._page_cache
+        move_to_end = cache.move_to_end
+        popitem = cache.popitem
+        capacity = self._page_cache_capacity
         pos = offset
         end = offset + len(data)
         while pos < end:
             idx = pos // CHUNK_SIZE
-            self._cache_insert(self._cache_key(inode, idx))
-            pos = min((idx + 1) * CHUNK_SIZE, end)
+            key = (fid, idx)
+            cache[key] = True
+            move_to_end(key)
+            while len(cache) > capacity:
+                popitem(last=False)
+            pos = (idx + 1) * CHUNK_SIZE
         if sync:
             yield from self.disk.write(inode, offset, len(data))
             return

@@ -81,6 +81,10 @@ class SparseFile:
         """True when chunk ``index`` currently holds only zero bytes."""
         data = self._chunks.get(index)
         if data is not None:
+            # Full chunks compare against the zero constant (memcmp with
+            # early exit) instead of counting every zero byte.
+            if len(data) == CHUNK_SIZE:
+                return data == _ZERO_CHUNK
             return data.count(0) == len(data)
         if self.source is not None:
             return self.source.is_zero(index)
@@ -99,9 +103,17 @@ class SparseFile:
         if offset >= self.size:
             return b""
         count = min(count, self.size - offset)
+        end = offset + count
+        idx, within = divmod(offset, CHUNK_SIZE)
+        if end <= (idx + 1) * CHUNK_SIZE:
+            # Single-chunk read (every block-granular access): hand back
+            # the stored chunk or one slice of it, no scratch buffer.
+            chunk = self._chunk_bytes(idx)
+            if within == 0 and count == CHUNK_SIZE and len(chunk) == CHUNK_SIZE:
+                return chunk
+            return chunk[within:within + count]
         out = bytearray()
         pos = offset
-        end = offset + count
         while pos < end:
             idx, within = divmod(pos, CHUNK_SIZE)
             take = min(CHUNK_SIZE - within, end - pos)
@@ -117,6 +129,20 @@ class SparseFile:
         """Write ``data`` at ``offset``, extending the file if needed."""
         if offset < 0:
             raise ValueError(f"negative write offset: {offset}")
+        if (len(data) == CHUNK_SIZE and offset % CHUNK_SIZE == 0
+                and type(data) is bytes):
+            # Aligned whole-chunk write (every block-granular copy):
+            # store the caller's immutable bytes directly, skipping the
+            # memoryview walk and its re-buffering.
+            idx = offset // CHUNK_SIZE
+            if self.source is None and data == _ZERO_CHUNK:
+                self._chunks.pop(idx, None)
+            else:
+                self._chunks[idx] = data
+            end = offset + CHUNK_SIZE
+            if end > self.size:
+                self.size = end
+            return
         pos = offset
         remaining = memoryview(bytes(data))
         while len(remaining):
@@ -124,7 +150,7 @@ class SparseFile:
             take = min(CHUNK_SIZE - within, len(remaining))
             if within == 0 and take == CHUNK_SIZE:
                 blob = bytes(remaining[:take])
-                if self.source is None and blob.count(0) == CHUNK_SIZE:
+                if self.source is None and blob == _ZERO_CHUNK:
                     # All-zero chunk in a zero-filled file: stay sparse, so
                     # copying a mostly-zero VM memory image costs only its
                     # payload.

@@ -17,6 +17,7 @@ Non-zero content is produced lazily by :class:`RandomContent`, so a
 from __future__ import annotations
 
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -38,6 +39,10 @@ __all__ = [
 ]
 
 
+#: Shared all-zero chunk — immutable, so every zero read can be one object.
+_ZERO_CHUNK = bytes(CHUNK_SIZE)
+
+
 def _mix(seed: int, index: int) -> int:
     """Cheap deterministic 64-bit mix of (seed, index)."""
     x = (seed * 0x9E3779B97F4A7C15 + index * 0xC2B2AE3D27D4EB4F) & (2**64 - 1)
@@ -57,22 +62,42 @@ class RandomContent(ContentSource):
     ratio typical of real memory pages.
     """
 
+    #: Per-source memo capacity: 8192 chunks x 8 KB = 64 MB ceiling —
+    #: enough to hold every non-zero chunk of a paper-scale memory
+    #: state, so back-to-back clones regenerate nothing.
+    _MEMO_CHUNKS = 8192
+
     def __init__(self, seed: int, zero_fraction: float = 0.0):
         if not 0.0 <= zero_fraction <= 1.0:
             raise ValueError(f"zero_fraction out of range: {zero_fraction}")
         self.seed = seed
         self.zero_fraction = zero_fraction
         self._threshold = int(zero_fraction * 2**64)
+        # Chunk generation (an RNG construction + fill per call) is one
+        # of the hottest non-simulation costs of a clone, and the same
+        # chunks are read over and over (per clone, per run, and by
+        # compression sizing).  The bytes are deterministic, so an LRU
+        # memo returns the identical object without re-generating it.
+        self._memo: "OrderedDict[int, bytes]" = OrderedDict()
 
     def is_zero(self, index: int) -> bool:
         return _mix(self.seed, index) < self._threshold
 
     def chunk(self, index: int) -> bytes:
-        if self.is_zero(index):
-            return bytes(CHUNK_SIZE)
+        if _mix(self.seed, index) < self._threshold:
+            return _ZERO_CHUNK
+        memo = self._memo
+        data = memo.get(index)
+        if data is not None:
+            memo.move_to_end(index)
+            return data
         rng = np.random.default_rng(_mix(self.seed, index))
         half = rng.integers(0, 256, CHUNK_SIZE // 2, dtype=np.uint8).tobytes()
-        return half + half
+        data = half + half
+        memo[index] = data
+        if len(memo) > self._MEMO_CHUNKS:
+            memo.popitem(last=False)
+        return data
 
 
 def make_memory_state(size: int, zero_fraction: float = 0.92,

@@ -296,6 +296,50 @@ def test_dirty_runs_break_after_short_block():
     assert cache.dirty_runs(64 * 1024) == [[(FH, 0)], [(FH, 1)]]
 
 
+def test_dirty_runs_cap_of_exactly_one_block():
+    env, cache = make_cache()
+    for i in range(3):
+        run(env, cache.insert((FH, i), bytes([i]) * 8192, dirty=True))
+    # A cap equal to the block size leaves no room to merge a second
+    # block: every run is exactly one block, same as cap 0.
+    assert cache.dirty_runs(max_run_bytes=8192) == \
+        [[(FH, 0)], [(FH, 1)], [(FH, 2)]]
+
+
+def test_dirty_runs_short_block_mid_file_breaks_run():
+    env, cache = make_cache()
+    run(env, cache.insert((FH, 0), b"a" * 8192, dirty=True))
+    run(env, cache.insert((FH, 1), b"b" * 100, dirty=True))
+    run(env, cache.insert((FH, 2), b"c" * 8192, dirty=True))
+    # The short block may end a run but nothing can merge after it.
+    assert cache.dirty_runs(64 * 1024) == [[(FH, 0), (FH, 1)], [(FH, 2)]]
+
+
+def test_dirty_runs_interleaved_files_sort_into_separate_runs():
+    env, cache = make_cache()
+    # Insertion order interleaves two files; runs must come out grouped
+    # by file with each file's blocks in index order.
+    for fh, i in [(FH, 0), (FH2, 0), (FH, 1), (FH2, 1)]:
+        run(env, cache.insert((fh, i), b"y" * 8192, dirty=True))
+    assert cache.dirty_runs(64 * 1024) == \
+        [[(FH, 0), (FH, 1)], [(FH2, 0), (FH2, 1)]]
+
+
+def test_read_many_stops_merged_span_at_short_frame():
+    env, cache = make_cache()
+    items = [((FH, 0), b"a" * 8192), ((FH, 1), b"b" * 100),
+             ((FH, 2), b"c" * 8192)]
+    run(env, cache.insert_many(items, dirty=True))
+    calls = []
+    count_bank_reads(cache, calls)
+    datas = run(env, cache.read_many([key for key, _ in items]))
+    assert datas == [data for _, data in items]
+    # The short frame ends the first span (its payload trims the read);
+    # block 2 is fetched separately — merging across the short frame
+    # would read past its payload into the neighbouring frame's bytes.
+    assert calls == [(0, 8192 + 100), (2 * 8192, 8192)]
+
+
 def test_reset_stats_keeps_contents():
     env, cache = make_cache()
     run(env, cache.insert((FH, 0), b"a"))
