@@ -13,6 +13,13 @@ Commands
     on fixed workloads and assert simulated-time invariance against
     golden timings.  ``--out BENCH_pr2.json`` archives the numbers;
     ``--baseline`` computes speedups against an earlier archive.
+``faultbench``
+    Run the fault-injection scenarios (WAN blips, server crash
+    mid-flush, proxy restart with/without the dirty-frame journal) and
+    check the recovery guarantees: zero lost writes with the journal,
+    deterministic replay for a fixed seed.  ``--out
+    results/BENCH_pr3.json`` archives the metrics; exit code 1 when a
+    guarantee is violated (the CI fault-smoke gate).
 ``info``
     Print the calibration constants shared by every experiment.
 ``report``
@@ -210,6 +217,30 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_faultbench(args) -> int:
+    from repro.experiments import faultbench
+    names = args.scenario.split(",") if args.scenario else None
+    try:
+        report = faultbench.run_faultbench(scenarios=names, quick=args.quick,
+                                           seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(faultbench.format_report(report))
+    if args.out:
+        import json
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"[written to {args.out}]")
+    failures = faultbench.check_report(report)
+    if failures:
+        print("error: recovery guarantees violated:\n  "
+              + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import assemble_report
     report = assemble_report(args.results_dir)
@@ -295,6 +326,23 @@ def build_parser() -> argparse.ArgumentParser:
                            "regresses more than X times vs --baseline "
                            "(CI gate; baseline scale must match)")
     perf.set_defaults(func=_cmd_perf)
+
+    fault = sub.add_parser(
+        "faultbench",
+        help="run fault-injection scenarios and check recovery "
+             "guarantees (zero lost writes with the journal, "
+             "deterministic replay)")
+    fault.add_argument("--scenario", default=None, metavar="S1,S2",
+                       help="comma-separated scenario names (default: all; "
+                            "wan_blip, server_crash, proxy_restart)")
+    fault.add_argument("--seed", type=int, default=11, metavar="N",
+                       help="fault-plan seed (same seed => same timeline)")
+    fault.add_argument("--quick", action="store_true",
+                       help="shrunken workloads (CI smoke scale)")
+    fault.add_argument("--out", default=None, metavar="FILE",
+                       help="write the metrics as JSON "
+                            "(e.g. results/BENCH_pr3.json)")
+    fault.set_defaults(func=_cmd_faultbench)
 
     info = sub.add_parser("info", help="print calibration constants")
     info.set_defaults(func=_cmd_info)

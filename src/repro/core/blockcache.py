@@ -17,6 +17,28 @@ seconds on real hardware.
 Write-back support: locally written frames are marked dirty and pinned;
 eviction of a dirty frame hands it back to the caller for upstream
 write-back before reuse.
+
+Crash recovery: with ``config.journal`` enabled, every dirty placement
+appends a record to a persistent journal file alongside the bank files
+(``/{name}/journal``).  Frame *data* always survives a proxy crash (it
+lives in the bank files on disk); what dies is the in-memory tag arrays
+saying which frame holds which block.  The journal is exactly that tag
+information for dirty frames, so a restarted proxy can rebuild its
+dirty set and replay the flush instead of losing VM disk writes.
+
+Journal format (text, one record per line):
+
+* ``+ <fsid> <fileid> <block> <bank> <frame> <length> <crc32>`` —
+  frame ``frame`` of bank ``bank`` holds dirty block ``block`` of file
+  ``(fsid, fileid)``, payload ``length`` bytes with the given checksum.
+* ``- <fsid> <fileid> <block>`` — that block was cleaned (flushed
+  upstream) or its frame reclaimed; any earlier ``+`` is void.
+
+Replay applies records in order; the checksum guards against a record
+whose frame was reused after the record was written (stale records
+fail verification and are skipped).  The file is truncated whenever
+the dirty set empties, so it stays proportional to outstanding dirty
+data, not history.
 """
 
 from __future__ import annotations
@@ -86,12 +108,31 @@ class ProxyBlockCache:
         self._bank_memo: Dict[Tuple[str, int, int], int] = {}
         if not storage.fs.exists(self._root()):
             storage.fs.mkdir(self._root(), parents=True)
+        # Dirty-frame journal (see module docstring).  ``_journal_live``
+        # mirrors the journal's net content: key -> (bank, frame,
+        # length, crc32) for every currently dirty frame.
+        self.journal_enabled = config.journal
+        self._journal_inode: Optional[Inode] = None
+        self._journal_offset = 0
+        self._journal_live: Dict[BlockKey, Tuple[int, int, int, int]] = {}
+        if self.journal_enabled:
+            path = f"{self._root()}/journal"
+            if storage.fs.exists(path):
+                self._journal_inode = storage.fs.lookup(path)
+                self._journal_offset = self._journal_inode.data.size
+            else:
+                self._journal_inode = storage.fs.create(path)
         # Statistics
         self.hits = 0
         self.misses = 0
         self.insertions = 0
         self.evictions = 0
         self.writebacks = 0
+        self.journal_appends = 0
+        self.recovered_blocks = 0
+        #: Current number of dirty frames (kept incrementally so the
+        #: proxy's dirty high-water check is O(1) per write).
+        self.dirty_frames = 0
 
     def _root(self) -> str:
         return f"/{self.name}"
@@ -210,12 +251,31 @@ class ProxyBlockCache:
                 self._where.pop(keys[frame_index], None)
 
         self._tick += 1
+        was_dirty = keys[frame_index] is not None and bank.dirty[frame_index]
+        self.dirty_frames += (dirty - was_dirty)
         keys[frame_index] = key
         bank.lengths[frame_index] = len(data)
         bank.dirty[frame_index] = dirty
         bank.lru[frame_index] = self._tick
         self._where[key] = (bank_index, frame_index)
         self.insertions += 1
+        if self.journal_enabled:
+            if victim is not None:
+                # The victim's frame is being reused; its bytes survive
+                # only in the caller's write-back, which a crash would
+                # lose anyway — void the record so replay can't resurrect
+                # the frame's new contents under the old key.
+                self._journal_remove(victim.key)
+            if dirty:
+                crc = zlib.crc32(data)
+                self._journal_live[key] = (bank_index, frame_index,
+                                           len(data), crc)
+                fh, block = key
+                yield from self._journal_append(
+                    f"+ {fh.fsid} {fh.fileid} {block} {bank_index} "
+                    f"{frame_index} {len(data)} {crc}\n")
+            elif key in self._journal_live:
+                self._journal_remove(key)
         return bank.inode, self._frame_offset(frame_index), victim
 
     def insert(self, key: BlockKey, data: bytes,
@@ -312,12 +372,123 @@ class ProxyBlockCache:
         self.writebacks += len(keys)
         return out
 
+    # -- dirty-frame journal ---------------------------------------------------
+    def _journal_append(self, record: str) -> Generator:
+        """Process: synchronously append one record to the journal.
+
+        Appends are sequential at a tracked offset, so the disk model
+        charges them at streaming rates — this is the per-write cost of
+        crash safety.
+        """
+        data = record.encode()
+        # Reserve the append position before yielding: concurrent dirty
+        # placements (pipelined WRITEs) must not capture the same offset.
+        offset = self._journal_offset
+        self._journal_offset += len(data)
+        yield from self.storage.timed_write_inode(
+            self._journal_inode, data, offset, sync=True)
+        self.journal_appends += 1
+
+    def _journal_remove(self, key: BlockKey) -> None:
+        """Void a key's journal record (untimed).
+
+        Removal records are a few dozen bytes riding the next sequential
+        append; real proxies batch them with the flush's COMMIT, so they
+        are not charged individually.  When the dirty set empties the
+        journal is compacted to an empty file.
+        """
+        if self._journal_live.pop(key, None) is None:
+            return
+        if not self._journal_live:
+            self._journal_inode.data.truncate(0)
+            self._journal_offset = 0
+            return
+        fh, block = key
+        record = f"- {fh.fsid} {fh.fileid} {block}\n".encode()
+        self._journal_inode.data.write(self._journal_offset, record)
+        self._journal_offset += len(record)
+
+    def crash(self) -> None:
+        """Simulate proxy process death: in-memory frame tags are lost.
+
+        Bank files and the journal survive on disk (``inode.data`` is
+        the media); :meth:`recover_from_journal` rebuilds the dirty set
+        from them.  Clean cached frames are simply forgotten — losing
+        them costs refetches, never data.
+        """
+        for bank in self._banks.values():
+            n = len(bank.keys)
+            bank.keys[:] = [None] * n
+            bank.dirty[:] = [False] * n
+            bank.lengths[:] = [0] * n
+            bank.lru[:] = [0] * n
+        self._where.clear()
+        self.dirty_frames = 0
+        self._journal_live.clear()
+        if self.journal_enabled:
+            # Re-derive the append position from the surviving file.
+            self._journal_offset = self._journal_inode.data.size
+
+    def recover_from_journal(self) -> Generator:
+        """Process: replay the journal, rebuilding dirty-frame tags.
+
+        Reads the journal file, applies add/remove records in order,
+        then verifies each surviving record's checksum against the
+        frame's on-disk bytes (a mismatch means the frame was reused
+        after the record — the record is stale and skipped).  Returns
+        the sorted list of recovered dirty :data:`BlockKey`\\ s.
+        """
+        if not self.journal_enabled:
+            return []
+        inode = self._journal_inode
+        raw = yield from self.storage.timed_read_inode(
+            inode, 0, inode.data.size)
+        live: Dict[BlockKey, Tuple[int, int, int, int]] = {}
+        for line in raw.decode().splitlines():
+            parts = line.split()
+            if not parts:
+                continue
+            if parts[0] == "+" and len(parts) == 8:
+                key = (FileHandle(parts[1], int(parts[2])), int(parts[3]))
+                live[key] = (int(parts[4]), int(parts[5]),
+                             int(parts[6]), int(parts[7]))
+            elif parts[0] == "-" and len(parts) == 4:
+                live.pop((FileHandle(parts[1], int(parts[2])),
+                          int(parts[3])), None)
+        recovered: List[BlockKey] = []
+        for key, (bank_index, frame_index, length, crc) in live.items():
+            bank = self._bank(bank_index)
+            data = yield from self.storage.timed_read_inode(
+                bank.inode, self._frame_offset(frame_index),
+                self.config.block_size)
+            data = data[:length]
+            if len(data) != length or zlib.crc32(data) != crc:
+                continue
+            self._tick += 1
+            bank.keys[frame_index] = key
+            bank.lengths[frame_index] = length
+            bank.dirty[frame_index] = True
+            bank.lru[frame_index] = self._tick
+            self._where[key] = (bank_index, frame_index)
+            self._journal_live[key] = (bank_index, frame_index, length, crc)
+            recovered.append(key)
+        self.dirty_frames += len(recovered)
+        self._journal_offset = inode.data.size
+        self.recovered_blocks += len(recovered)
+        recovered.sort(key=lambda k: (k[0].fsid, k[0].fileid, k[1]))
+        return recovered
+
     def mark_clean(self, key: BlockKey) -> None:
         """Clear the dirty tag after a successful upstream write-back."""
         where = self._where.get(key)
         if where is None:
             return
-        self._banks[where[0]].dirty[where[1]] = False
+        bank = self._banks[where[0]]
+        if bank.dirty[where[1]]:
+            bank.dirty[where[1]] = False
+            self.dirty_frames -= 1
+        if self.journal_enabled:
+            self._journal_remove(key)
 
     def dirty_blocks(self, fh: Optional[FileHandle] = None) -> List[BlockKey]:
         """Keys of dirty frames (optionally restricted to one file)."""
@@ -393,6 +564,11 @@ class ProxyBlockCache:
             bank.dirty[:] = [False] * n
             bank.lengths[:] = [0] * n
         self._where.clear()
+        self.dirty_frames = 0
+        if self.journal_enabled and self._journal_live:
+            self._journal_live.clear()
+            self._journal_inode.data.truncate(0)
+            self._journal_offset = 0
 
     def reset_stats(self) -> None:
         """Zero the counters without disturbing cache contents —

@@ -39,6 +39,10 @@ class ProxyCacheConfig:
     associativity: int = 16
     block_size: int = NFS_BLOCK_SIZE
     policy: CachePolicy = CachePolicy.WRITE_BACK
+    #: Keep a persistent dirty-frame journal alongside the bank files so
+    #: a crashed proxy can recover its write-back dirty set (off by
+    #: default: journal appends cost disk time on every dirty write).
+    journal: bool = False
 
     def __post_init__(self):
         if self.block_size <= 0 or self.block_size > NFS_MAX_BLOCK_SIZE:
@@ -90,6 +94,10 @@ class ProxyConfig:
     write_coalesce_bytes: int = 64 * 1024
     #: Concurrent upstream write-back RPCs in flight during a flush.
     write_pipeline_depth: int = 4
+    #: Maximum dirty blocks held in the write-back cache before new
+    #: writes force synchronous write-back (or, with the upstream down,
+    #: are rejected) — bounds data loss exposure.  0 disables the limit.
+    dirty_high_water_blocks: int = 0
 
     def __post_init__(self):
         if self.readahead_depth < 0:
@@ -100,6 +108,8 @@ class ProxyConfig:
             raise ValueError("write_coalesce_bytes must be >= 0")
         if self.write_pipeline_depth < 1:
             raise ValueError("write_pipeline_depth must be >= 1")
+        if self.dirty_high_water_blocks < 0:
+            raise ValueError("dirty_high_water_blocks must be >= 0")
 
 
 # -- process-wide pipelined-I/O overrides ------------------------------------

@@ -34,7 +34,7 @@ from repro.nfs.protocol import (
     NfsRequest,
     NfsStatus,
 )
-from repro.nfs.rpc import RpcClient
+from repro.nfs.rpc import RpcClient, RpcTimeout
 from repro.sim import AllOf, Environment
 
 __all__ = ["GvfsProxy", "ProxyStats"]
@@ -62,6 +62,13 @@ class ProxyStats:
     readahead_windows: int = 0      # window launches by the run detector
     merged_write_rpcs: int = 0      # coalesced upstream WRITEs during flush
     merged_write_blocks: int = 0    # blocks those WRITEs carried
+    # Robustness: degraded mode and crash recovery.
+    degraded_reads: int = 0         # cache hits served while upstream down
+    degraded_read_errors: int = 0   # misses that failed while upstream down
+    degraded_write_rejects: int = 0 # writes bounced at the dirty high water
+    high_water_writebacks: int = 0  # synchronous drains forced by the limit
+    proxy_crashes: int = 0
+    recovered_dirty_blocks: int = 0 # dirty frames rebuilt from the journal
 
     def reset(self) -> None:
         """Zero every counter (mirrors :meth:`ProxyBlockCache.reset_stats`).
@@ -144,6 +151,15 @@ class GvfsProxy:
         reply = yield from self.upstream.call(request)
         return reply
 
+    def _upstream_down(self) -> bool:
+        """True when the upstream is known-unreachable (breaker open).
+
+        Pure flag check: the proxy only *knows* the upstream is down
+        when its RPC client carries a circuit breaker that has tripped.
+        """
+        breaker = getattr(self.upstream, "breaker", None)
+        return breaker is not None and breaker.currently_open(self.env.now)
+
     def _patched_attrs(self, fh: FileHandle,
                        attrs: Optional[Fattr]) -> Optional[Fattr]:
         """Adjust server attrs for size growth held in the write-back cache."""
@@ -209,8 +225,10 @@ class GvfsProxy:
             yield from self.channel.fetch(fh)
             self.stats.channel_fetches += 1
         finally:
-            del self._fetching[fh]
-            gate.succeed()
+            if self._fetching.get(fh) is gate:
+                del self._fetching[fh]
+            if not gate.triggered:
+                gate.succeed()
 
     # ----------------------------------------------------------------- handle
     def handle(self, request: NfsRequest) -> Generator:
@@ -310,6 +328,10 @@ class GvfsProxy:
             hit = yield from self.block_cache.lookup(key)
             if hit is not None:
                 self.stats.block_cache_hits += 1
+                if self._upstream_down():
+                    # Read-only degraded mode: clean cached data keeps
+                    # the VM running through the outage.
+                    self.stats.degraded_reads += 1
                 self._consume_prefetch(key, meta)
                 data = hit.data[within:within + count]
                 eof = len(hit.data) < bs and within + count >= len(hit.data)
@@ -330,16 +352,24 @@ class GvfsProxy:
         victim = None
         try:
             upstream_req = request.replace(offset=idx * bs, count=bs)
-            reply = yield from self._forward(upstream_req)
+            try:
+                reply = yield from self._forward(upstream_req)
+            except RpcTimeout:
+                # Upstream unreachable and the block is not cached: the
+                # VM gets a clean I/O error, not a hang.
+                self.stats.degraded_read_errors += 1
+                reply = NfsReply(NfsProc.READ, NfsStatus.IO, fh=fh)
             if reply.ok:
                 victim = yield from self.block_cache.insert(
                     key, reply.data, dirty=False)
         finally:
             # Always release the gate, even when the upstream RPC fails —
             # a failed fetch must never wedge later READs of this block.
+            # (A proxy crash may have already succeeded and dropped it.)
             if self._block_gates.get(key) is gate:
                 del self._block_gates[key]
-            gate.succeed()
+            if not gate.triggered:
+                gate.succeed()
         if not reply.ok:
             return reply
         if victim is not None:
@@ -418,6 +448,10 @@ class GvfsProxy:
         released, so a failed prefetch never wedges later READs.
         """
         bs = self._bs()
+        # Snapshot our gates: a proxy crash mid-window releases and
+        # clears them, and recovery may install fresh gates under the
+        # same keys — cleanup must only touch the ones we own.
+        gates = {i: self._block_gates[(fh, i)] for i in idxs}
         fetched: Dict[int, bytes] = {}
 
         def fetch_one(i: int) -> Generator:
@@ -446,8 +480,10 @@ class GvfsProxy:
         finally:
             self.stats.prefetch_failed += len(idxs) - len(fetched)
             for i in idxs:
-                gate = self._block_gates.pop((fh, i), None)
-                if gate is not None:
+                gate = gates[i]
+                if self._block_gates.get((fh, i)) is gate:
+                    del self._block_gates[(fh, i)]
+                if not gate.triggered:
                     gate.succeed()
         for victim in victims:
             try:
@@ -488,12 +524,41 @@ class GvfsProxy:
             # Write-through: server first, then refresh the cached copy.
             reply = yield from self._forward(request)
             if reply.ok:
-                yield from self._merge_into_cache(key, within, data)
+                try:
+                    yield from self._merge_into_cache(key, within, data)
+                except RpcTimeout:
+                    pass   # server has the data; only the cache refresh failed
                 self._bump_local_size(fh, offset + len(data))
             return reply
 
-        # Write-back: absorb into the disk cache and acknowledge.
-        yield from self._merge_into_cache(key, within, data, dirty=True)
+        # Write-back: absorb into the disk cache and acknowledge.  A
+        # dirty high-water mark bounds loss exposure: at the limit, a
+        # write that would dirty a *new* frame first drains a run
+        # synchronously — or, with the upstream down, is rejected (the
+        # cache can't grow the at-risk set during an outage).
+        hw = self.config.dirty_high_water_blocks
+        if (hw > 0 and self.block_cache.dirty_frames >= hw
+                and not self.block_cache.is_dirty(key)):
+            if self._upstream_down():
+                self.stats.degraded_write_rejects += 1
+                return NfsReply(NfsProc.WRITE, NfsStatus.IO, fh=fh)
+            try:
+                runs = self.block_cache.dirty_runs(
+                    self.config.write_coalesce_bytes)
+                if runs:
+                    yield from self._write_back_run(runs[0])
+                    self.stats.high_water_writebacks += 1
+            except RpcTimeout:
+                self.stats.degraded_write_rejects += 1
+                return NfsReply(NfsProc.WRITE, NfsStatus.IO, fh=fh)
+        try:
+            yield from self._merge_into_cache(key, within, data, dirty=True)
+        except RpcTimeout:
+            # The read-modify-write base fetch failed; absorbing the
+            # partial write over a zeroed base would corrupt the block
+            # at flush time, so fail the write cleanly instead.
+            self.stats.degraded_write_rejects += 1
+            return NfsReply(NfsProc.WRITE, NfsStatus.IO, fh=fh)
         self.stats.absorbed_writes += 1
         self._bump_local_size(fh, offset + len(data))
         return NfsReply(NfsProc.WRITE, NfsStatus.OK, fh=fh, count=len(data))
@@ -603,6 +668,53 @@ class GvfsProxy:
             self.stats.writebacks += len(sub)
             self.stats.merged_write_rpcs += 1
             self.stats.merged_write_blocks += len(sub)
+
+    def crash(self) -> None:
+        """Simulate proxy process death: all in-memory state is lost.
+
+        Cached block *data* survives in the bank files on the host disk,
+        but the tags mapping frames to blocks do not — without the
+        dirty-frame journal, absorbed writes awaiting write-back are
+        gone.  In-flight fetch gates are released so concurrent READs
+        retry instead of wedging (their refetch simply misses).
+        """
+        self.stats.proxy_crashes += 1
+        for gate in self._block_gates.values():
+            if not gate.triggered:
+                gate.succeed()
+        self._block_gates.clear()
+        for gate in self._fetching.values():
+            if not gate.triggered:
+                gate.succeed()
+        self._fetching.clear()
+        self._names.clear()
+        self._metadata.clear()
+        self._local_size.clear()
+        self._prefetched.clear()
+        self._last_miss.clear()
+        self._miss_run.clear()
+        self._ra_frontier.clear()
+        if self.block_cache is not None:
+            self.block_cache.crash()
+        if self.channel is not None:
+            # Whole-file cache state (and any dirty entries) dies with
+            # the process; the journal covers block-cache writes only.
+            self.channel.file_cache.clear()
+
+    def recover(self) -> Generator:
+        """Process: restart after :meth:`crash`, replaying the journal.
+
+        Rebuilds the dirty-frame set from the persistent journal (when
+        the cache was configured with one) so the pending write-back is
+        not lost; a subsequent :meth:`flush` pushes it upstream.
+        Returns the recovered block keys.
+        """
+        recovered: List[Tuple[FileHandle, int]] = []
+        if self.block_cache is not None:
+            recovered = yield from self.block_cache.recover_from_journal()
+            self.stats.recovered_dirty_blocks += len(recovered)
+        yield self.env.timeout(0)
+        return recovered
 
     def quiesce(self) -> Generator:
         """Process: wait out every in-flight block fetch (demand or

@@ -36,7 +36,7 @@ from repro.net.ssh import ScpTransfer, SshTunnel
 from repro.net.topology import Host, Testbed
 from repro.nfs.client import MountOptions, NfsClient
 from repro.nfs.protocol import FileHandle
-from repro.nfs.rpc import LoopbackTransport, RpcClient
+from repro.nfs.rpc import LoopbackTransport, RpcCircuitBreaker, RpcClient
 from repro.nfs.server import NfsServer
 from repro.sim import Environment
 from repro.storage.localfs import LocalFileSystem
@@ -265,6 +265,39 @@ class GvfsSession:
         yield self.env.process(self.mount.flush_all())
         if self.client_proxy is not None:
             yield self.env.process(self.client_proxy.flush())
+
+    def harden_rpc(self, timeout: float = 1.0, max_retries: int = 5,
+                   backoff: float = 2.0, max_timeout: float = 8.0,
+                   breaker_threshold: Optional[int] = None,
+                   breaker_reset: float = 5.0,
+                   dirty_high_water_blocks: Optional[int] = None) -> RpcClient:
+        """Enable failure handling on the session's WAN-facing RPC path.
+
+        Sessions are built with ``timeout=None`` (no retransmission) —
+        correct on a perfect network and free of timer cost.  Under
+        fault injection the middleware calls this to switch the client
+        proxy's upstream (or, with no proxy, the mount itself) to the
+        retransmission ladder, optionally with a circuit breaker (which
+        also arms the proxy's degraded mode) and a dirty high-water
+        mark.  Returns the hardened :class:`RpcClient`.
+        """
+        client = (self.client_proxy.upstream if self.client_proxy is not None
+                  else self.mount.rpc)
+        client.timeout = timeout
+        client.max_retries = max_retries
+        client.backoff = backoff
+        client.max_timeout = max_timeout
+        if breaker_threshold is not None:
+            client.breaker = RpcCircuitBreaker(
+                self.env, failure_threshold=breaker_threshold,
+                reset_after=breaker_reset)
+        if (dirty_high_water_blocks is not None
+                and self.client_proxy is not None):
+            from dataclasses import replace
+            self.client_proxy.config = replace(
+                self.client_proxy.config,
+                dirty_high_water_blocks=dirty_high_water_blocks)
+        return client
 
     def cold_caches(self) -> Generator:
         """Process: the experiments' cold-cache setup — flush dirty

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Generator, Iterable, List, Tuple
 
 from repro.sim import Environment, FifoResource
+from repro.sim.engine import Event
 
 __all__ = ["Link", "Route", "duplex"]
 
@@ -48,27 +49,75 @@ class Link:
         self.bandwidth = float(bandwidth)
         self.name = name
         self._tx = FifoResource(env, capacity=1, name=f"{name}.tx")
+        # Fault state: a failed link either stalls traffic until
+        # restore() (the default — models a routing blackout where the
+        # retransmit eventually gets through) or drops it outright
+        # (drop_on_fail=True: messages vanish; recovery relies on the
+        # caller's RPC timeout).
+        self.failed = False
+        self.drop_on_fail = False
+        self._repair_gates: List[Event] = []
         # Statistics
         self.bytes_sent = 0
         self.messages_sent = 0
         self.busy_time = 0.0
+        self.outages = 0
+        self.drops = 0
 
     def serialization_delay(self, nbytes: int) -> float:
         """Time the transmitter is held for a message of ``nbytes``."""
         return (nbytes + HEADER_BYTES) / self.bandwidth
 
+    # -- fault injection ------------------------------------------------------
+    def fail(self) -> None:
+        """Take the link down; traffic stalls (or drops) until restore()."""
+        if not self.failed:
+            self.failed = True
+            self.outages += 1
+
+    def restore(self) -> None:
+        """Bring the link back up and release every stalled message."""
+        if not self.failed:
+            return
+        self.failed = False
+        gates, self._repair_gates = self._repair_gates, []
+        for gate in gates:
+            gate.succeed()
+
+    def _blocked(self) -> Generator:
+        """Process step taken by a message that hits a down link."""
+        if self.drop_on_fail:
+            # The message is gone; park forever.  The caller's RPC
+            # timeout (or an interrupt) is the only way out.
+            self.drops += 1
+            yield Event(self.env)
+            return
+        while self.failed:
+            gate = Event(self.env)
+            self._repair_gates.append(gate)
+            yield gate
+
     def transmit(self, nbytes: int) -> Generator:
         """Process: queue for the transmitter, serialize, propagate."""
         if nbytes < 0:
             raise ValueError(f"negative message size: {nbytes}")
+        if self.failed:
+            yield from self._blocked()
         req = self._tx.request()
-        yield req
         try:
+            # ``yield req`` sits inside the try so an interrupt landing
+            # while we queue (or hold) the transmitter still releases it
+            # — FifoResource.release handles the not-yet-granted case.
+            yield req
             delay = self.serialization_delay(nbytes)
             yield self.env.timeout(delay)
             self.busy_time += delay
         finally:
             self._tx.release(req)
+        if self.failed:
+            # Went down mid-flight: the message is on the wire when the
+            # outage hits, so it stalls (or is lost) like queued traffic.
+            yield from self._blocked()
         yield self.env.timeout(self.latency)
         self.bytes_sent += nbytes
         self.messages_sent += 1

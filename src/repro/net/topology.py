@@ -69,8 +69,8 @@ class Host:
         """Process: hold one CPU for ``cpu_seconds`` (scaled by speed)."""
         def _run():
             req = self.cpu.request()
-            yield req
             try:
+                yield req
                 yield self.env.timeout(cpu_seconds / self.cpu_speed)
             finally:
                 self.cpu.release(req)

@@ -50,6 +50,14 @@ class NfsServer:
         self.op_cpu = op_cpu
         self._nfsd = FifoResource(env, capacity=nfsd_threads, name=f"{fsid}.nfsd")
         self.calls = 0
+        # Fault state.  A crashed server answers nothing; in-progress
+        # calls are abandoned mid-service (their completed disk effects
+        # persist — the media survives, the process dies).  The epoch
+        # counter lets a call detect that the server it started under is
+        # not the one running now, so its reply is never delivered.
+        self.crashed = False
+        self.crashes = 0
+        self._crash_epoch = 0
 
     # -- handle plumbing -----------------------------------------------------
     @property
@@ -77,12 +85,36 @@ class NfsServer:
                      mtime=inode.mtime, mode=inode.mode,
                      uid=inode.uid, gid=inode.gid)
 
+    # -- fault injection ---------------------------------------------------------
+    def crash(self) -> None:
+        """Kill the server process: no replies until :meth:`restart`."""
+        self.crashed = True
+        self.crashes += 1
+        self._crash_epoch += 1
+
+    def restart(self) -> None:
+        """Boot the server back up with a cold page cache.
+
+        File data survives (it lives on the export disk); the kernel's
+        in-memory page cache and write-behind pool do not.
+        """
+        self.export.drop_caches()
+        self.crashed = False
+
     # -- dispatch ---------------------------------------------------------------
     def handle(self, request: NfsRequest) -> Generator:
         """Process: service one call; returns an :class:`NfsReply`."""
+        if self.crashed:
+            # Dead servers don't answer: park until interrupted (the
+            # caller's retransmission timer is the recovery mechanism).
+            yield self.env.event()
+        epoch = self._crash_epoch
         slot = self._nfsd.request()
-        yield slot
         try:
+            yield slot
+            if self.crashed or self._crash_epoch != epoch:
+                # Crashed while we queued for a thread: nobody serves us.
+                yield self.env.event()
             yield self.env.timeout(self.op_cpu)
             self.calls += 1
             try:
@@ -90,9 +122,13 @@ class NfsServer:
             except FsError as exc:
                 status = FS_CODE_TO_STATUS.get(exc.code, NfsStatus.IO)
                 reply = NfsReply(request.proc, status)
-            return reply
         finally:
             self._nfsd.release(slot)
+        if self._crash_epoch != epoch:
+            # The server died while this call was in service: whatever
+            # disk effects already happened stand, but the reply is lost.
+            yield self.env.event()
+        return reply
 
     def _dispatch(self, req: NfsRequest) -> Generator:
         proc = req.proc

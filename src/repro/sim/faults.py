@@ -1,0 +1,235 @@
+"""Deterministic fault injection for the simulation testbed.
+
+Running VMs over a WAN means "the server is unreachable" is a normal
+operating condition, not an exception.  This module schedules failures
+— link outages and flaps, server crash/restart, proxy crash/recovery —
+as ordinary simulation events so every fault scenario is exactly
+replayable: the same :class:`FaultPlan` (or the same seed) produces the
+same failure timeline and therefore the same recovery timeline.
+
+A :class:`FaultPlan` is pure data (a sorted list of
+:class:`FaultEvent`); a :class:`FaultInjector` binds target names to
+live objects (links, servers, proxies) and executes a plan as a
+background process, recording everything it did in ``timeline`` for
+replay comparison.
+
+Targets are duck-typed per event kind:
+
+* ``LINK_DOWN`` / ``LINK_UP`` — objects with ``fail()``/``restore()``
+  (a :class:`~repro.net.link.Link`, or an iterable of them such as a
+  ``duplex`` pair: both directions fail together, like a cut cable).
+* ``SERVER_CRASH`` / ``SERVER_RESTART`` — objects with
+  ``crash()``/``restart()`` (:class:`~repro.nfs.server.NfsServer`).
+* ``PROXY_CRASH`` / ``PROXY_RESTART`` — objects with ``crash()`` and a
+  ``recover()`` *process* (:class:`~repro.core.proxy.GvfsProxy`);
+  restart runs the recovery process to completion, so the time a
+  journal replay takes shows up on the timeline.
+
+Nothing here touches the happy path: a testbed with no injector
+attached schedules zero extra events.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.engine import Environment, Process
+
+__all__ = ["FaultEvent", "FaultInjector", "FaultKind", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """What happens to a target at a scheduled instant."""
+
+    LINK_DOWN = "link-down"
+    LINK_UP = "link-up"
+    SERVER_CRASH = "server-crash"
+    SERVER_RESTART = "server-restart"
+    PROXY_CRASH = "proxy-crash"
+    PROXY_RESTART = "proxy-restart"
+
+
+#: Kind pairs that undo each other (used by the flap builders).
+_REPAIR_OF = {
+    FaultKind.LINK_DOWN: FaultKind.LINK_UP,
+    FaultKind.SERVER_CRASH: FaultKind.SERVER_RESTART,
+    FaultKind.PROXY_CRASH: FaultKind.PROXY_RESTART,
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled failure or repair."""
+
+    at: float
+    kind: FaultKind
+    target: str
+
+    def __post_init__(self):
+        if self.at < 0:
+            raise ValueError(f"fault scheduled in the past: {self.at}")
+
+
+class FaultPlan:
+    """An ordered, replayable schedule of fault events.
+
+    Plans are immutable-by-convention value objects: builders return new
+    plans, and two plans built from the same arguments (or the same
+    seed) compare equal and replay identically.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        # Stable sort: ties in time keep insertion order, so a plan's
+        # execution order is fully determined by its construction.
+        self.events: List[FaultEvent] = sorted(events, key=lambda e: e.at)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FaultPlan) and self.events == other.events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan {len(self.events)} event(s)>"
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """A new plan combining this plan's events with ``other``'s."""
+        return FaultPlan([*self.events, *other.events])
+
+    # -- builders ----------------------------------------------------------
+    @classmethod
+    def outage(cls, kind: FaultKind, target: str, at: float,
+               down_for: float) -> "FaultPlan":
+        """One failure at ``at`` repaired ``down_for`` seconds later."""
+        if down_for <= 0:
+            raise ValueError(f"down_for must be positive: {down_for}")
+        repair = _REPAIR_OF.get(kind)
+        if repair is None:
+            raise ValueError(f"{kind} is a repair, not a failure")
+        return cls([FaultEvent(at, kind, target),
+                    FaultEvent(at + down_for, repair, target)])
+
+    @classmethod
+    def link_flap(cls, target: str, first_down: float, down_for: float,
+                  flaps: int = 1, period: Optional[float] = None
+                  ) -> "FaultPlan":
+        """``flaps`` outages of ``down_for`` seconds, ``period`` apart."""
+        if flaps < 1:
+            raise ValueError("flaps must be >= 1")
+        period = period if period is not None else 2 * down_for
+        if period <= down_for:
+            raise ValueError("period must exceed down_for")
+        events: List[FaultEvent] = []
+        for i in range(flaps):
+            at = first_down + i * period
+            events.append(FaultEvent(at, FaultKind.LINK_DOWN, target))
+            events.append(FaultEvent(at + down_for, FaultKind.LINK_UP, target))
+        return cls(events)
+
+    @classmethod
+    def server_outage(cls, target: str, at: float,
+                      down_for: float) -> "FaultPlan":
+        return cls.outage(FaultKind.SERVER_CRASH, target, at, down_for)
+
+    @classmethod
+    def proxy_restart(cls, target: str, at: float,
+                      down_for: float) -> "FaultPlan":
+        return cls.outage(FaultKind.PROXY_CRASH, target, at, down_for)
+
+    @classmethod
+    def seeded_flaps(cls, target: str, seed: int, horizon: float,
+                     mean_up: float, mean_down: float,
+                     start_after: float = 0.0) -> "FaultPlan":
+        """Random link flaps drawn from a seeded generator.
+
+        Up/down durations are exponentially distributed with the given
+        means; the same ``seed`` always produces the same plan, so a
+        "random" WAN-weather scenario replays bit-identically.
+        """
+        if horizon <= 0 or mean_up <= 0 or mean_down <= 0:
+            raise ValueError("horizon and means must be positive")
+        rng = random.Random(seed)
+        events: List[FaultEvent] = []
+        t = start_after + rng.expovariate(1.0 / mean_up)
+        while t < horizon:
+            down = rng.expovariate(1.0 / mean_down)
+            events.append(FaultEvent(t, FaultKind.LINK_DOWN, target))
+            events.append(FaultEvent(min(t + down, horizon),
+                                     FaultKind.LINK_UP, target))
+            t += down + rng.expovariate(1.0 / mean_up)
+        return cls(events)
+
+
+class FaultInjector:
+    """Executes fault plans against attached targets, keeping a replay
+    log.
+
+    ``timeline`` records ``(time, kind, target)`` for every executed
+    event — comparing two runs' timelines (and their workload metrics)
+    is the determinism check the fault scenarios are tested with.
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._targets: Dict[str, object] = {}
+        self.timeline: List[Tuple[float, str, str]] = []
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, name: str, target: object) -> None:
+        """Bind ``name`` (as used in plans) to a live object.
+
+        ``target`` may be a single object or an iterable (e.g. a duplex
+        link pair) — iterables are acted on element-wise.
+        """
+        if name in self._targets:
+            raise ValueError(f"target {name!r} already attached")
+        self._targets[name] = target
+
+    def _resolve(self, name: str) -> List[object]:
+        try:
+            target = self._targets[name]
+        except KeyError:
+            raise KeyError(f"no fault target attached as {name!r}") from None
+        if isinstance(target, (list, tuple)):
+            return list(target)
+        return [target]
+
+    # -- execution ---------------------------------------------------------
+    def schedule(self, plan: FaultPlan) -> Process:
+        """Start a background process executing ``plan``'s events."""
+        for event in plan.events:
+            self._resolve(event.target)   # fail fast on unknown targets
+        return self.env.process(self._run(plan), name="fault-injector")
+
+    def _run(self, plan: FaultPlan) -> Generator:
+        for event in plan.events:
+            delay = event.at - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            yield from self._execute(event)
+
+    def _execute(self, event: FaultEvent) -> Generator:
+        kind = event.kind
+        for obj in self._resolve(event.target):
+            if kind is FaultKind.LINK_DOWN:
+                obj.fail()
+            elif kind is FaultKind.LINK_UP:
+                obj.restore()
+            elif kind is FaultKind.SERVER_CRASH:
+                obj.crash()
+            elif kind is FaultKind.SERVER_RESTART:
+                obj.restart()
+            elif kind is FaultKind.PROXY_CRASH:
+                obj.crash()
+            elif kind is FaultKind.PROXY_RESTART:
+                # Recovery is a timed process (journal replay reads the
+                # proxy host's disk); it runs to completion here so its
+                # cost lands on the timeline.
+                yield self.env.process(obj.recover())
+            else:  # pragma: no cover - enum is closed
+                raise ValueError(f"unknown fault kind {kind}")
+        self.timeline.append((self.env.now, kind.value, event.target))
+        yield self.env.timeout(0)

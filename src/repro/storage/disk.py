@@ -82,8 +82,8 @@ class Disk:
         if nbytes < 0 or offset < 0:
             raise ValueError(f"bad access offset={offset} nbytes={nbytes}")
         req = self._arm.request()
-        yield req
         try:
+            yield req
             sid = id(stream)
             sequential = self._stream_pos.get(sid) == offset
             switched = self._last_served != sid

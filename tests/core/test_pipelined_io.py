@@ -7,7 +7,7 @@ from repro.core.config import (
     set_pipeline_overrides,
 )
 from repro.core.profiler import format_pipeline_report
-from repro.nfs.protocol import FileHandle, NfsProc, NfsRequest
+from repro.nfs.protocol import FileHandle, NfsProc, NfsRequest, NfsStatus
 from repro.sim import AllOf
 from tests.core.harness import Rig
 
@@ -116,6 +116,56 @@ def test_failed_prefetch_releases_gates_and_later_reads_succeed():
 
     reply, _ = rig.run(later(rig.env))
     assert reply.ok and len(reply.data) == BS
+
+
+def test_rpc_timeout_on_demand_miss_returns_clean_error():
+    rig = Rig(metadata=False)
+    proxy = rig.session.client_proxy
+    rig.session.harden_rpc(timeout=0.25, max_retries=1)
+    fh = fh_for(rig)
+    rig.endpoint.server.crash()
+
+    def job(env):
+        return (yield from proxy.handle(NfsRequest(
+            NfsProc.READ, fh=fh, offset=0, count=BS)))
+
+    reply, _ = rig.run(job(rig.env))
+    # The retransmission ladder exhausts and the client gets a clean IO
+    # error — no hang, no wedged miss gate.
+    assert reply.status is NfsStatus.IO
+    assert proxy.stats.degraded_read_errors == 1
+    assert not proxy._block_gates
+
+
+def test_rpc_timeout_during_readahead_releases_gates():
+    rig = Rig(metadata=False)
+    proxy = rig.session.client_proxy
+    rig.session.harden_rpc(timeout=0.25, max_retries=0)
+    fh = fh_for(rig)
+
+    def chaos(env):
+        # Crash while the second miss (and its readahead window) is
+        # still on the wire: every in-flight fetch times out.
+        yield env.timeout(0.01)
+        rig.endpoint.server.crash()
+
+    def job(env):
+        first = yield from proxy.handle(NfsRequest(
+            NfsProc.READ, fh=fh, offset=0, count=BS))
+        assert first.ok
+        rig.env.process(chaos(env))
+        second = yield from proxy.handle(NfsRequest(
+            NfsProc.READ, fh=fh, offset=BS, count=BS))   # opens the window
+        assert second.status is NfsStatus.IO
+        yield env.timeout(2.0)            # let every prefetch ladder exhaust
+        assert not proxy._block_gates     # failed fetches freed their gates
+        rig.endpoint.server.restart()
+        return (yield from proxy.handle(NfsRequest(
+            NfsProc.READ, fh=fh, offset=5 * BS, count=BS)))
+
+    reply, _ = rig.run(job(rig.env))
+    assert reply.ok and len(reply.data) == BS
+    assert proxy.stats.prefetch_failed >= 1
 
 
 def test_dirty_eviction_writes_back_before_flush():

@@ -179,8 +179,146 @@ def test_unresponsive_server_raises_rpc_timeout():
     env.process(proc(env))
     env.run(until=200)
     assert "unanswered" in box["err"]
-    assert box["t"] == pytest.approx(3 * 0.5)  # initial + 2 retries
+    # Exponential backoff: 0.5 + 1.0 + 2.0 (initial + 2 retries, x2 each).
+    assert box["t"] == pytest.approx(0.5 + 1.0 + 2.0)
     assert rpc.stats.retransmissions == 3
+    # Satellite: every attempt's wire bytes are counted, not just one.
+    assert rpc.stats.attempts == 3
+    assert rpc.stats.by_proc["NULL"] == 3
+    req_bytes = NfsRequest(NfsProc.NULL).wire_size()
+    assert rpc.stats.bytes_sent == 3 * req_bytes
+
+
+def test_backoff_interval_is_capped():
+    env = Environment()
+    handler = SlowHandler(env, delay=1000.0)
+    loop = LoopbackTransport(env)
+    rpc = RpcClient(env, handler, loop, loop, timeout=1.0, max_retries=4,
+                    backoff=4.0, max_timeout=5.0)
+    box = {}
+
+    def proc(env):
+        try:
+            yield from rpc.call(NfsRequest(NfsProc.NULL))
+        except RpcTimeout:
+            box["t"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    # Intervals 1, 4, then clamped to the 5 s cap: 1 + 4 + 5 + 5 + 5.
+    assert box["t"] == pytest.approx(1 + 4 + 5 + 5 + 5)
+
+
+def test_call_deadline_bounds_total_wait():
+    env = Environment()
+    handler = SlowHandler(env, delay=1000.0)
+    loop = LoopbackTransport(env)
+    rpc = RpcClient(env, handler, loop, loop, timeout=1.0, max_retries=100,
+                    backoff=1.0)
+    box = {}
+
+    def proc(env):
+        try:
+            yield from rpc.call(NfsRequest(NfsProc.NULL), deadline=2.5)
+        except RpcTimeout:
+            box["t"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    # Attempts at 0, 1, 2; the last timer is clamped to the deadline.
+    assert box["t"] == pytest.approx(2.5)
+    assert rpc.stats.attempts == 3
+
+
+def test_circuit_breaker_trips_then_recovers():
+    from repro.nfs.rpc import RpcCircuitBreaker, RpcCircuitOpen
+
+    env = Environment()
+    handler = SlowHandler(env, delay=1000.0, slow_calls=2)
+    loop = LoopbackTransport(env)
+    breaker = RpcCircuitBreaker(env, failure_threshold=2, reset_after=10.0)
+    rpc = RpcClient(env, handler, loop, loop, timeout=0.25, max_retries=0,
+                    breaker=breaker)
+    box = {"fast": 0}
+
+    def proc(env):
+        for _ in range(2):          # two timed-out calls trip the breaker
+            try:
+                yield from rpc.call(NfsRequest(NfsProc.NULL))
+            except RpcTimeout:
+                pass
+        assert breaker.state == breaker.OPEN
+        t_open = env.now
+        try:
+            yield from rpc.call(NfsRequest(NfsProc.NULL))
+        except RpcCircuitOpen:
+            box["fast"] += 1
+        # Fail-fast costs zero simulated time and no attempt.
+        assert env.now == t_open
+        yield env.timeout(10.1)     # past reset_after: half-open probe
+        reply = yield from rpc.call(NfsRequest(NfsProc.NULL))
+        assert reply.ok
+        assert breaker.state == breaker.CLOSED
+
+    env.process(proc(env))
+    env.run()
+    assert box["fast"] == 1
+    assert breaker.trips == 1
+    assert breaker.fast_failures == 1
+    assert breaker.probes == 1
+    assert rpc.stats.fast_failures == 1
+    assert rpc.stats.attempts == 3  # 2 failed + 1 probe; fast-fail sent none
+
+
+def test_timed_out_attempts_are_cancelled():
+    """Satellite regression: abandoned attempts must not keep running.
+
+    Without cancellation every timed-out attempt's process lives on
+    inside the handler (here: a 10000 s service), eventually resuming,
+    finishing service and transmitting a reply nobody wants — leaked
+    work that grows the engine's event count per failed call.  With
+    cancellation no abandoned attempt ever reaches the reply leg, and
+    each failed call schedules the same bounded number of events.
+    """
+    env = Environment()
+    handler = SlowHandler(env, delay=10000.0)
+    loop = LoopbackTransport(env)
+    rpc = RpcClient(env, handler, loop, loop, timeout=0.1, max_retries=1,
+                    backoff=1.0)
+    deltas = []
+
+    def proc(env):
+        prev = None
+        for _ in range(6):
+            try:
+                yield from rpc.call(NfsRequest(NfsProc.NULL))
+            except RpcTimeout:
+                pass
+            if prev is not None:
+                deltas.append(env.events_scheduled - prev)
+            prev = env.events_scheduled
+
+    env.process(proc(env))
+    events_at_last_failure = []
+
+    def watcher(env):
+        # Sample the event count right after the workload finishes; the
+        # run itself drains to t=10000 because the engine does not
+        # deschedule the cancelled attempts' pending timeouts (they
+        # fire with no callbacks attached).
+        yield env.timeout(5.0)
+        events_at_last_failure.append(env.events_scheduled)
+
+    env.process(watcher(env))
+    env.run()
+    # 12 attempts issued (6 calls x 2): 12 request transmits, and not a
+    # single reply transmit from a cancelled attempt's service.
+    assert rpc.stats.attempts == 12
+    assert loop.messages == 12
+    assert len(set(deltas)) == 1, f"per-call event cost drifted: {deltas}"
+    # Nothing but the leftover no-op timer pops happens after the calls:
+    # the leaked-process version would do CPU + transmit work out here.
+    assert env.events_scheduled - events_at_last_failure[0] <= 12
 
 
 def test_timeout_none_waits_forever():

@@ -1,0 +1,184 @@
+"""Fault plans, injector replay determinism, and link failure semantics."""
+
+import pytest
+
+from repro.net.link import Link, duplex
+from repro.sim import Environment
+from repro.sim.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+
+
+# --------------------------------------------------------------------------
+# Plans
+# --------------------------------------------------------------------------
+
+def test_outage_builder_pairs_failure_with_repair():
+    plan = FaultPlan.server_outage("srv", at=2.0, down_for=3.0)
+    assert [(e.at, e.kind, e.target) for e in plan.events] == [
+        (2.0, FaultKind.SERVER_CRASH, "srv"),
+        (5.0, FaultKind.SERVER_RESTART, "srv")]
+
+
+def test_link_flap_builder_spaces_outages_by_period():
+    plan = FaultPlan.link_flap("wan", first_down=1.0, down_for=2.0,
+                               flaps=3, period=10.0)
+    downs = [e.at for e in plan.events if e.kind is FaultKind.LINK_DOWN]
+    ups = [e.at for e in plan.events if e.kind is FaultKind.LINK_UP]
+    assert downs == [1.0, 11.0, 21.0]
+    assert ups == [3.0, 13.0, 23.0]
+
+
+def test_builders_validate_arguments():
+    with pytest.raises(ValueError):
+        FaultPlan.server_outage("srv", at=1.0, down_for=0.0)
+    with pytest.raises(ValueError):       # a repair is not a failure
+        FaultPlan.outage(FaultKind.LINK_UP, "l", at=0.0, down_for=1.0)
+    with pytest.raises(ValueError):       # overlapping flaps
+        FaultPlan.link_flap("l", first_down=0.0, down_for=2.0,
+                            flaps=2, period=1.0)
+    with pytest.raises(ValueError):
+        FaultEvent(-1.0, FaultKind.LINK_DOWN, "l")
+    with pytest.raises(ValueError):
+        FaultPlan.seeded_flaps("l", seed=1, horizon=0.0,
+                               mean_up=1.0, mean_down=1.0)
+
+
+def test_seeded_plans_replay_identically():
+    args = dict(target="wan", seed=42, horizon=200.0,
+                mean_up=10.0, mean_down=2.0)
+    a = FaultPlan.seeded_flaps(**args)
+    b = FaultPlan.seeded_flaps(**args)
+    c = FaultPlan.seeded_flaps(**{**args, "seed": 43})
+    assert len(a) > 0 and a == b
+    assert a != c
+    kinds = [e.kind for e in a.events]    # strict down/up alternation
+    assert kinds[0::2] == [FaultKind.LINK_DOWN] * (len(kinds) // 2)
+    assert kinds[1::2] == [FaultKind.LINK_UP] * (len(kinds) // 2)
+    assert all(e.at <= 200.0 for e in a.events)
+
+
+def test_merged_plans_interleave_by_time():
+    a = FaultPlan.link_flap("wan", first_down=1.0, down_for=1.0)
+    b = FaultPlan.server_outage("srv", at=1.5, down_for=1.0)
+    merged = a.merged(b)
+    assert [e.at for e in merged.events] == [1.0, 1.5, 2.0, 2.5]
+
+
+# --------------------------------------------------------------------------
+# Link failure semantics
+# --------------------------------------------------------------------------
+
+def test_failed_link_stalls_traffic_until_restore():
+    env = Environment()
+    link = Link(env, latency=0.01, bandwidth=1e6)
+    done = []
+
+    def sender(env):
+        yield env.process(link.transmit(1000))
+        done.append(env.now)
+
+    def chaos(env):
+        link.fail()
+        link.fail()                       # idempotent
+        yield env.timeout(5.0)
+        link.restore()
+
+    env.process(chaos(env))
+    env.process(sender(env))
+    env.run()
+    assert done and done[0] > 5.0         # held for the whole outage
+    assert link.outages == 1 and link.drops == 0
+
+
+def test_outage_mid_serialization_stalls_the_inflight_message():
+    env = Environment()
+    link = Link(env, latency=0.0, bandwidth=1000.0)   # 1 KB/s: slow wire
+
+    done = []
+
+    def sender(env):
+        yield env.process(link.transmit(2000))        # ~2 s to serialize
+        done.append(env.now)
+
+    def chaos(env):
+        yield env.timeout(1.0)            # message is on the wire now
+        link.fail()
+        yield env.timeout(10.0)
+        link.restore()
+
+    env.process(sender(env))
+    env.process(chaos(env))
+    env.run()
+    assert done and done[0] >= 11.0
+
+
+def test_drop_on_fail_loses_the_message_instead_of_stalling():
+    env = Environment()
+    link = Link(env, latency=0.01, bandwidth=1e6)
+    link.drop_on_fail = True
+    done = []
+
+    def sender(env):
+        yield env.process(link.transmit(1000))
+        done.append(env.now)              # pragma: no cover - must not run
+
+    def chaos(env):
+        link.fail()
+        yield env.timeout(5.0)
+        link.restore()                    # repair does NOT resurrect drops
+
+    env.process(chaos(env))
+    env.process(sender(env))
+    env.run()
+    assert not done
+    assert link.drops == 1 and link.messages_sent == 0
+
+
+# --------------------------------------------------------------------------
+# Injector
+# --------------------------------------------------------------------------
+
+def test_injector_acts_on_duplex_pairs_and_records_timeline():
+    env = Environment()
+    pair = duplex(env, 0.01, 1e6, name="wan")
+    injector = FaultInjector(env)
+    injector.attach("wan", pair)
+    injector.schedule(FaultPlan.link_flap("wan", first_down=1.0,
+                                          down_for=2.0))
+    env.run()
+    assert injector.timeline == [(1.0, "link-down", "wan"),
+                                 (3.0, "link-up", "wan")]
+    assert all(link.outages == 1 and not link.failed for link in pair)
+
+
+def test_injector_rejects_unknown_targets_and_duplicate_names():
+    env = Environment()
+    injector = FaultInjector(env)
+    injector.attach("wan", Link(env, 0.0, 1e6))
+    with pytest.raises(ValueError):
+        injector.attach("wan", Link(env, 0.0, 1e6))
+    with pytest.raises(KeyError):         # fail fast, before running
+        injector.schedule(FaultPlan.link_flap("lan", first_down=1.0,
+                                              down_for=1.0))
+    assert injector.timeline == []
+
+
+def test_same_seed_replays_identical_timeline_under_traffic():
+    def run_once():
+        env = Environment()
+        link = Link(env, latency=0.005, bandwidth=1e6)
+        injector = FaultInjector(env)
+        injector.attach("wan", link)
+        injector.schedule(FaultPlan.seeded_flaps(
+            "wan", seed=7, horizon=30.0, mean_up=3.0, mean_down=1.0))
+        arrivals = []
+
+        def traffic(env):
+            for _ in range(40):
+                yield env.process(link.transmit(4096))
+                arrivals.append(env.now)
+
+        env.process(traffic(env))
+        env.run()
+        return injector.timeline, arrivals
+
+    assert run_once() == run_once()

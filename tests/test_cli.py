@@ -31,6 +31,25 @@ def test_info_command_prints_calibration(capsys):
     assert "gzip" in out
 
 
+def test_faultbench_rejects_unknown_scenario(capsys):
+    assert main(["faultbench", "--scenario", "nope"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_faultbench_proxy_restart_quick(capsys, tmp_path):
+    out_file = tmp_path / "bench.json"
+    assert main(["faultbench", "--scenario", "proxy_restart", "--quick",
+                 "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "proxy_restart" in out and "lost 0" in out
+    import json
+    report = json.loads(out_file.read_text())
+    scenario = report["scenarios"]["proxy_restart"]
+    assert scenario["lost_writes"] == 0
+    assert scenario["lost_writes_without_journal"] > 0
+    assert scenario["replay_identical"] is True
+
+
 def test_bench_zero_runs_and_reports(capsys):
     assert main(["bench", "zero"]) == 0
     out = capsys.readouterr().out
