@@ -275,6 +275,13 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _add_stack_report_flag(sub) -> None:
+    sub.add_argument("--stack-report", action="store_true",
+                     help="print the per-layer proxy stack stats report "
+                          "after the run (one block per proxy that saw "
+                          "traffic)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -296,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="W",
                        help="override concurrent upstream WRITEs during "
                             "proxy flush")
+    _add_stack_report_flag(bench)
     bench.set_defaults(func=_cmd_bench)
 
     perf = sub.add_parser(
@@ -325,6 +333,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="fail (exit 1) when any workload's wall clock "
                            "regresses more than X times vs --baseline "
                            "(CI gate; baseline scale must match)")
+    _add_stack_report_flag(perf)
     perf.set_defaults(func=_cmd_perf)
 
     fault = sub.add_parser(
@@ -342,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     fault.add_argument("--out", default=None, metavar="FILE",
                        help="write the metrics as JSON "
                             "(e.g. results/BENCH_pr3.json)")
+    _add_stack_report_flag(fault)
     fault.set_defaults(func=_cmd_faultbench)
 
     info = sub.add_parser("info", help="print calibration constants")
@@ -357,6 +367,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "stack_report", False):
+        from repro.core.layers import enable_stack_reports
+        enable_stack_reports()
+        try:
+            rc = args.func(args)
+            from repro.core.layers import format_stack_reports
+            text = format_stack_reports()
+            if text:
+                print("\nper-layer proxy stack reports\n" + text)
+        finally:
+            from repro.core.layers import disable_stack_reports
+            disable_stack_reports()
+        return rc
     return args.func(args)
 
 

@@ -13,9 +13,13 @@ substrate:
   locally, and action lists (compress → remote copy → uncompress →
   read locally) that establish an on-demand file-based data channel and
   file cache (heterogeneous caching);
-* :mod:`~repro.core.proxy` — the proxy itself: receives NFS RPC calls
-  like a server, issues them like a client, can be chained, remaps
-  identities, and obeys middleware-driven consistency signals
+* :mod:`~repro.core.layers` + :mod:`~repro.core.proxy` — the proxy
+  itself: a :class:`~repro.core.layers.ProxyStack` of composable
+  :class:`~repro.core.layers.ProxyLayer` extensions (attr patching,
+  zero-map meta-data, file channel, block cache, readahead, degraded
+  mode, upstream RPC).  It receives NFS RPC calls like a server, issues
+  them like a client, can be chained, remaps identities, and obeys
+  middleware-driven consistency signals
   (:mod:`~repro.core.consistency`).
 
 :mod:`~repro.core.session` assembles per-scenario proxy chains
@@ -34,6 +38,7 @@ from repro.core.metadata import (
     metadata_path_for,
 )
 from repro.core.channel import FileChannel
+from repro.core.layers import ProxyLayer, ProxyStack, ProxyStats, standard_layers
 from repro.core.proxy import GvfsProxy
 from repro.core.consistency import ConsistencySignal, MiddlewareConsistency
 from repro.core.profiler import (
@@ -60,8 +65,12 @@ __all__ = [
     "ProxyBlockCache",
     "ProxyCacheConfig",
     "ProxyConfig",
+    "ProxyLayer",
+    "ProxyStack",
+    "ProxyStats",
     "Prefetcher",
     "ProxyFileCache",
+    "standard_layers",
     "Scenario",
     "generate_memory_state_metadata",
     "generate_metadata",

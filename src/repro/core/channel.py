@@ -70,6 +70,13 @@ class FileChannel:
         self.bytes_on_wire = 0
         self.bytes_logical = 0
 
+    def reset_stats(self) -> None:
+        """Zero the channel counters (mirrors ProxyBlockCache.reset_stats)."""
+        self.fetches = 0
+        self.uploads = 0
+        self.bytes_on_wire = 0
+        self.bytes_logical = 0
+
     # -- helpers ---------------------------------------------------------------
     def _compress_stage(self, host: Host, fs: Optional[LocalFileSystem],
                         inode: Inode) -> Generator:

@@ -1,0 +1,93 @@
+"""Attribute-patching layer: name learning and local-size patching.
+
+The top of the stack.  Learns ``fh -> (parent dir, leaf name)`` from
+LOOKUP/CREATE traffic (the meta-data layer needs names to locate a
+file's ``.gvfs`` companion) and patches server attributes whose size
+lags behind growth held locally by the write-back layers below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.core.layers.base import ProxyLayer
+from repro.nfs.protocol import Fattr, FileHandle, NfsProc, NfsReply
+
+__all__ = ["AttrPatchLayer"]
+
+
+@dataclass
+class AttrPatchStats:
+    names_learned: int = 0      # fh -> name bindings picked off LOOKUP/CREATE
+    attrs_patched: int = 0      # replies whose size was locally extended
+
+
+class AttrPatchLayer(ProxyLayer):
+    """Learn the namespace; patch attrs for locally-absorbed growth."""
+
+    ROLE = "attr-patch"
+    Stats = AttrPatchStats
+
+    def __init__(self):
+        super().__init__()
+        # fh -> (parent dir fh, leaf name), learned from LOOKUP traffic;
+        # needed to find a file's meta-data in its directory.
+        self.names: Dict[FileHandle, Tuple[FileHandle, str]] = {}
+        # fh -> size as locally extended by absorbed writes.
+        self.local_size: Dict[FileHandle, int] = {}
+
+    # ------------------------------------------------------------------ handle
+    def handle(self, request) -> Generator:
+        proc = request.proc
+
+        if proc is NfsProc.LOOKUP:
+            reply = yield from self.next.handle(request)
+            if reply.ok:
+                self.names[reply.fh] = (request.fh, request.name)
+                self.stats.names_learned += 1
+                reply = self.patch_reply_attrs(reply)
+            return reply
+
+        if proc is NfsProc.GETATTR:
+            reply = yield from self.next.handle(request)
+            return self.patch_reply_attrs(reply) if reply.ok else reply
+
+        reply = yield from self.next.handle(request)
+        if reply.ok and proc is NfsProc.CREATE:
+            self.names[reply.fh] = (request.fh, request.name)
+            self.stats.names_learned += 1
+        return reply
+
+    # ----------------------------------------------------------- shared state
+    def patched_attrs(self, fh: FileHandle,
+                      attrs: Optional[Fattr]) -> Optional[Fattr]:
+        """Adjust server attrs for size growth held in the write-back cache."""
+        if attrs is None:
+            return None
+        local = self.local_size.get(fh)
+        if local is not None and local > attrs.size:
+            self.stats.attrs_patched += 1
+            return replace(attrs, size=local)
+        return attrs
+
+    def patch_reply_attrs(self, reply: NfsReply) -> NfsReply:
+        patched = self.patched_attrs(reply.fh, reply.attrs)
+        if patched is reply.attrs:
+            return reply
+        return replace(reply, attrs=patched)
+
+    def bump_local_size(self, fh: FileHandle, end: int) -> None:
+        if end > self.local_size.get(fh, 0):
+            self.local_size[fh] = end
+
+    # -------------------------------------------------------------- lifecycle
+    def crash(self) -> None:
+        self.names.clear()
+        self.local_size.clear()
+
+    def invalidate(self) -> None:
+        # Learned names survive invalidation (the kernel client keeps
+        # its handles across a cold-cache cycle); local sizes do not —
+        # the growth they tracked was flushed before the invalidate.
+        self.local_size.clear()

@@ -1,0 +1,105 @@
+"""Fault-guard layer: degraded-mode proxying in one place.
+
+Centralises every upstream-down / loss-exposure decision that used to
+be scattered across the monolithic proxy's read, write, readahead and
+flush paths:
+
+* **degraded reads** — a cache hit while the upstream circuit breaker
+  is open is counted as a read served through the outage;
+* **guarded fetches** — a demand miss whose upstream RPC times out is
+  converted to a clean I/O error (the VM must not hang);
+* **the dirty high-water mark** — a write-back write that would dirty
+  a *new* frame past the limit first drains a dirty run synchronously,
+  or is rejected outright when the upstream is down (the cache must
+  not grow the at-risk set during an outage);
+* **crash accounting** — the stack's crash counter lives here.
+
+On the request path this layer is a pure pass-through (zero events):
+the block-cache layer calls sideways into the guard API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional, Tuple
+
+from repro.core.layers.base import ProxyLayer
+from repro.nfs.protocol import FileHandle, NfsProc, NfsReply, NfsStatus
+from repro.nfs.rpc import RpcTimeout
+
+__all__ = ["DegradedModeLayer"]
+
+
+@dataclass
+class DegradedModeStats:
+    degraded_reads: int = 0         # cache hits served while upstream down
+    degraded_read_errors: int = 0   # misses that failed while upstream down
+    degraded_write_rejects: int = 0 # writes bounced at the dirty high water
+    high_water_writebacks: int = 0  # synchronous drains forced by the limit
+    proxy_crashes: int = 0
+
+
+class DegradedModeLayer(ProxyLayer):
+    """Degraded-mode guards for every path that can meet an outage."""
+
+    ROLE = "fault-guard"
+    Stats = DegradedModeStats
+
+    # ------------------------------------------------------------- guard API
+    def upstream_down(self) -> bool:
+        """True when the upstream is known-unreachable (breaker open).
+
+        Pure flag check: the proxy only *knows* the upstream is down
+        when its RPC client carries a circuit breaker that has tripped.
+        """
+        breaker = getattr(self.stack.upstream, "breaker", None)
+        return breaker is not None and breaker.currently_open(self.env.now)
+
+    def note_cached_read(self) -> None:
+        """A cache hit was served; count it if the upstream is down."""
+        if self.upstream_down():
+            self.stats.degraded_reads += 1
+
+    def guarded_fetch(self, request) -> Generator:
+        """Process: forward a demand fetch, converting an exhausted
+        retransmission ladder into a clean I/O error reply."""
+        try:
+            reply = yield from self.handle(request)
+        except RpcTimeout:
+            self.stats.degraded_read_errors += 1
+            reply = NfsReply(request.proc, NfsStatus.IO, fh=request.fh)
+        return reply
+
+    def reject_write(self, fh: FileHandle) -> NfsReply:
+        self.stats.degraded_write_rejects += 1
+        return NfsReply(NfsProc.WRITE, NfsStatus.IO, fh=fh)
+
+    def ensure_write_capacity(self,
+                              key: Tuple[FileHandle, int]) -> Generator:
+        """Process: enforce the dirty high-water mark before a write-back
+        absorb dirties a *new* frame.
+
+        Returns a rejection reply the write must return, or None when
+        the write may proceed.
+        """
+        block = self.stack.layer("block-cache")
+        hw = self.config.dirty_high_water_blocks
+        if not (hw > 0 and block is not None
+                and block.block_cache.dirty_frames >= hw
+                and not block.block_cache.is_dirty(key)):
+            return None
+        if self.upstream_down():
+            return self.reject_write(key[0])
+        try:
+            runs = block.block_cache.dirty_runs(
+                self.config.write_coalesce_bytes)
+            if runs:
+                yield from block.write_back_run(runs[0])
+                self.stats.high_water_writebacks += 1
+        except RpcTimeout:
+            return self.reject_write(key[0])
+        return None
+
+    # -------------------------------------------------------------- lifecycle
+    def crash(self) -> None:
+        self.stats.proxy_crashes += 1

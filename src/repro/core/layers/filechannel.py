@@ -1,0 +1,141 @@
+"""File-channel layer: whole-file heterogeneous caching (§3.2.2).
+
+Files whose meta-data carries action lists (compress → remote copy →
+uncompress) are fetched once through the file-based data channel and
+then served from the proxy's file cache.  Writes to a file held in the
+file cache stay local and upload on flush (write-back of e.g. a
+checkpointed memory state).  Concurrent READs of one file coalesce on
+a per-file fetch gate, symmetric to the block layer's miss gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.core.layers.base import ProxyLayer
+from repro.nfs.protocol import FileHandle, NfsProc, NfsReply, NfsStatus
+
+__all__ = ["FileChannelLayer"]
+
+
+@dataclass
+class FileChannelStats:
+    file_cache_reads: int = 0   # reads served from the whole-file cache
+    channel_fetches: int = 0    # action lists executed (one per file fetch)
+    absorbed_writes: int = 0    # writes kept local in the file cache
+
+
+class FileChannelLayer(ProxyLayer):
+    """Serve whole files through the file-based data channel."""
+
+    ROLE = "file-channel"
+    Stats = FileChannelStats
+
+    def __init__(self, channel):
+        super().__init__()
+        self.channel = channel
+        # fh -> in-progress channel fetch gate (concurrent READs wait).
+        self.fetching: Dict[FileHandle, object] = {}
+
+    @property
+    def file_cache(self):
+        return self.channel.file_cache
+
+    # ------------------------------------------------------------------ fetch
+    def ensure_file_cached(self, fh: FileHandle) -> Generator:
+        """Process: run the file channel for ``fh`` exactly once."""
+        if fh in self.file_cache:
+            return
+        gate = self.fetching.get(fh)
+        if gate is not None:
+            yield gate  # someone else is already fetching
+            return
+        gate = self.env.event()
+        self.fetching[fh] = gate
+        try:
+            yield from self.channel.fetch(fh)
+            self.stats.channel_fetches += 1
+        finally:
+            if self.fetching.get(fh) is gate:
+                del self.fetching[fh]
+            if not gate.triggered:
+                gate.succeed()
+
+    # ------------------------------------------------------------------ handle
+    def handle(self, request) -> Generator:
+        proc = request.proc
+
+        if proc is NfsProc.WRITE:
+            fh, offset, data = request.fh, request.offset, request.data
+            # Writes to a file held in the file cache stay local,
+            # uploaded on flush.
+            if fh in self.file_cache:
+                yield from self.file_cache.write(fh, offset, data)
+                self.stats.absorbed_writes += 1
+                self.stack.bump_local_size(fh, offset + len(data))
+                return NfsReply(NfsProc.WRITE, NfsStatus.OK, fh=fh,
+                                count=len(data))
+            return (yield from self.next.handle(request))
+
+        if proc is not NfsProc.READ:
+            return (yield from self.next.handle(request))
+
+        fh, offset, count = request.fh, request.offset, request.count
+        meta = self.stack.cached_meta(fh)
+        if meta is not None and meta.wants_file_channel:
+            # Whole-file channel: fetch once, then serve from file cache.
+            yield from self.ensure_file_cached(fh)
+            reply = yield from self._read_cached(fh, offset, count)
+            if reply is not None:
+                return reply
+        # File already in the file cache (e.g. after write-back install)?
+        if fh in self.file_cache:
+            reply = yield from self._read_cached(fh, offset, count)
+            if reply is not None:
+                return reply
+        return (yield from self.next.handle(request))
+
+    def _read_cached(self, fh: FileHandle, offset: int,
+                     count: int) -> Generator:
+        data = yield from self.file_cache.read(fh, offset, count)
+        if data is None:
+            return None
+        self.stats.file_cache_reads += 1
+        size = self.file_cache.entry(fh).size
+        return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh, data=data,
+                        count=len(data), eof=offset + len(data) >= size)
+
+    # --------------------------------------------------------------- lifecycle
+    def flush(self) -> Generator:
+        for entry in self.file_cache.dirty_entries():
+            yield from self.channel.upload(entry.fh)
+
+    def crash(self) -> None:
+        for gate in self.fetching.values():
+            if not gate.triggered:
+                gate.succeed()
+        self.fetching.clear()
+        # Whole-file cache state (and any dirty entries) dies with the
+        # process; the journal covers block-cache writes only.
+        self.file_cache.clear()
+
+    def quiesce(self) -> Generator:
+        while self.fetching:
+            fh = next(iter(self.fetching))
+            yield self.fetching[fh]
+
+    def invalidate_guard(self) -> Optional[str]:
+        if self.fetching:
+            return "invalidate with file fetches in flight; quiesce first"
+        return None
+
+    def invalidate(self) -> None:
+        self.file_cache.clear()
+
+    def dirty_files(self) -> int:
+        return len(self.file_cache.dirty_entries())
+
+    def reset(self) -> None:
+        super().reset()
+        self.channel.reset_stats()

@@ -1,0 +1,392 @@
+"""The composable GVFS proxy stack.
+
+A :class:`ProxyStack` is an NFS RPC handler assembled from
+:class:`~repro.core.layers.base.ProxyLayer` instances.  The stack owns
+the front door (request accounting, per-request CPU cost, credential
+remapping, request observers) and fans lifecycle operations out to
+every layer; everything else — meta-data, caches, readahead, degraded
+mode, the upstream hop — lives in the layers.
+
+Composition expresses the paper's deployment shapes directly:
+
+* a **forwarding** proxy (the server-side identity mapper) is a stack
+  with no cache layers;
+* a **caching client** proxy adds the file-channel, block-cache and
+  readahead layers;
+* a **second-level LAN cache** is the same caching composition whose
+  upstream RPC client points at another proxy — cascading is stacking;
+* a **shared read-only cache** is a block-cache layer handed a cache
+  object owned by another session.
+
+``ProxyStats`` keeps the legacy flat counter surface alive as a
+routing view over the per-layer stats bags, so middleware and analysis
+code written against the monolithic proxy keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.config import ProxyConfig
+from repro.core.layers.attrs import AttrPatchLayer
+from repro.core.layers.base import ProxyLayer, counter_names
+from repro.core.layers.blocks import BlockCacheLayer
+from repro.core.layers.degraded import DegradedModeLayer
+from repro.core.layers.filechannel import FileChannelLayer
+from repro.core.layers.readahead import ReadaheadLayer
+from repro.core.layers.terminal import UpstreamRpcLayer
+from repro.core.layers.zeromap import ZeroMapLayer
+
+__all__ = [
+    "LEGACY_COUNTERS",
+    "ProxyStack",
+    "ProxyStats",
+    "disable_stack_reports",
+    "enable_stack_reports",
+    "format_stack_reports",
+    "registered_stacks",
+    "standard_layers",
+]
+
+#: Every counter of the pre-refactor monolithic ``ProxyStats``.  The
+#: aggregated view guarantees all of them stay readable (and writable)
+#: whatever layers a stack composes; counters whose owning layer is
+#: absent read as zero.
+LEGACY_COUNTERS = (
+    "requests", "forwarded", "zero_filtered_reads",
+    "block_cache_hits", "block_cache_misses", "file_cache_reads",
+    "absorbed_writes", "absorbed_commits", "writebacks", "channel_fetches",
+    "coalesced_misses", "prefetch_issued", "prefetch_used",
+    "prefetch_failed", "readahead_windows",
+    "merged_write_rpcs", "merged_write_blocks",
+    "degraded_reads", "degraded_read_errors", "degraded_write_rejects",
+    "high_water_writebacks", "proxy_crashes", "recovered_dirty_blocks",
+)
+
+
+@dataclass
+class FrontDoorStats:
+    requests: int = 0       # RPC calls that entered the stack
+
+
+class _DetachedCounters:
+    """Zero-initialised holders for legacy counters whose owning layer
+    is absent from this stack (e.g. prefetch counters on a cacheless
+    forwarding proxy)."""
+
+    def __init__(self, names):
+        for name in names:
+            setattr(self, name, 0)
+
+
+class ProxyStats:
+    """The legacy flat counter surface, aggregated over per-layer bags.
+
+    Reads and writes route to the layer that owns the counter; a
+    counter owned by several layers (``absorbed_writes`` belongs to
+    both the file-channel and block-cache layers) reads as the sum and
+    writes against the first owner.  ``reset()`` zeroes every bag.
+    """
+
+    def __init__(self, bags):
+        object.__setattr__(self, "_bags", list(bags))
+        routes: Dict[str, list] = {}
+        for bag in bags:
+            for name in counter_names(bag):
+                routes.setdefault(name, []).append(bag)
+        object.__setattr__(self, "_routes", routes)
+
+    def __getattr__(self, name):
+        routes = object.__getattribute__(self, "_routes")
+        bags = routes.get(name)
+        if bags is None:
+            raise AttributeError(f"unknown proxy counter {name!r}")
+        if len(bags) == 1:
+            return getattr(bags[0], name)
+        return sum(getattr(bag, name) for bag in bags)
+
+    def __setattr__(self, name, value):
+        bags = self._routes.get(name)
+        if bags is None:
+            raise AttributeError(f"unknown proxy counter {name!r}")
+        if len(bags) > 1:
+            value -= sum(getattr(bag, name) for bag in bags[1:])
+        setattr(bags[0], name, value)
+
+    def reset(self) -> None:
+        """Zero every counter (mirrors :meth:`ProxyBlockCache.reset_stats`).
+
+        Benchmarks separate a warm-up phase from the measured phase by
+        resetting the counters instead of rebuilding the session."""
+        for name, bags in self._routes.items():
+            for bag in bags:
+                setattr(bag, name, 0)
+
+    @property
+    def prefetch_wasted(self) -> int:
+        """Prefetched blocks never consumed by a demand read (so far)."""
+        return max(self.prefetch_issued - self.prefetch_used
+                   - self.prefetch_failed, 0)
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """used / issued — the fraction of readahead that paid off."""
+        if self.prefetch_issued == 0:
+            return 0.0
+        return self.prefetch_used / self.prefetch_issued
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{name}={getattr(self, name)}"
+                         for name in LEGACY_COUNTERS)
+        return f"ProxyStats({body})"
+
+
+def standard_layers(block_cache=None, channel=None) -> List[ProxyLayer]:
+    """The canonical GVFS composition: attr patching and meta-data on
+    top, optional file-channel and block-cache/readahead caching in the
+    middle, the fault guard and the upstream hop at the bottom."""
+    layers: List[ProxyLayer] = [AttrPatchLayer(), ZeroMapLayer()]
+    if channel is not None:
+        layers.append(FileChannelLayer(channel))
+    if block_cache is not None:
+        layers.append(BlockCacheLayer(block_cache))
+        layers.append(ReadaheadLayer())
+    layers.append(DegradedModeLayer())
+    layers.append(UpstreamRpcLayer())
+    return layers
+
+
+class ProxyStack:
+    """One user-level file system proxy, composed from layers."""
+
+    #: CPU cost of proxy request processing (user-level RPC dispatch).
+    OP_CPU = 30e-6
+
+    def __init__(self, env, upstream, config: ProxyConfig = ProxyConfig(),
+                 layers: Optional[List[ProxyLayer]] = None):
+        self.env = env
+        self.upstream = upstream
+        self.config = config
+        self.layers: List[ProxyLayer] = list(
+            standard_layers() if layers is None else layers)
+        if not self.layers:
+            raise ValueError("a proxy stack needs at least one layer")
+        # Observers of the incoming request stream (access profilers,
+        # middleware telemetry).  Called synchronously per request.
+        self.read_observers: List = []
+        self.front_stats = FrontDoorStats()
+        self._roles: Dict[str, ProxyLayer] = {}
+        below: Optional[ProxyLayer] = None
+        for layer in reversed(self.layers):
+            layer.attach(self, below)
+            self._roles.setdefault(layer.ROLE, layer)
+            below = layer
+        self.head: ProxyLayer = below
+        bags = [self.front_stats] + [
+            layer.stats for layer in self.layers if layer.stats is not None]
+        covered = {name for bag in bags for name in counter_names(bag)}
+        detached = [n for n in LEGACY_COUNTERS if n not in covered]
+        if detached:
+            bags.append(_DetachedCounters(detached))
+        self.stats = ProxyStats(bags)
+        _register_stack(self)
+
+    # ----------------------------------------------------------- layer lookup
+    def layer(self, role: str) -> Optional[ProxyLayer]:
+        """The first layer with ``ROLE == role``, or None."""
+        return self._roles.get(role)
+
+    @property
+    def block_cache(self):
+        layer = self._roles.get("block-cache")
+        return layer.block_cache if layer is not None else None
+
+    @property
+    def channel(self):
+        layer = self._roles.get("file-channel")
+        return layer.channel if layer is not None else None
+
+    # ------------------------------------------------------ cross-layer state
+    def block_size(self) -> int:
+        return self.config.cache.block_size if self.config.cache else 8192
+
+    @property
+    def names(self) -> Dict:
+        layer = self._roles.get("attr-patch")
+        return layer.names if layer is not None else {}
+
+    def local_size(self, fh) -> int:
+        layer = self._roles.get("attr-patch")
+        return layer.local_size.get(fh, 0) if layer is not None else 0
+
+    def bump_local_size(self, fh, end: int) -> None:
+        layer = self._roles.get("attr-patch")
+        if layer is not None:
+            layer.bump_local_size(fh, end)
+
+    def patched_attrs(self, fh, attrs):
+        layer = self._roles.get("attr-patch")
+        return layer.patched_attrs(fh, attrs) if layer is not None else attrs
+
+    def cached_meta(self, fh):
+        """The meta-data the zero-map layer resolved for ``fh`` earlier
+        in the current request (None when absent or unresolved)."""
+        layer = self._roles.get("metadata")
+        return layer.cache.get(fh) if layer is not None else None
+
+    # ------------------------------------------------------------- front door
+    def handle(self, request) -> Generator:
+        """Process: service one RPC call (the server face of the proxy)."""
+        self.front_stats.requests += 1
+        yield self.env.timeout(self.OP_CPU)
+        if self.config.identity is not None:
+            request = request.replace(credentials=self.config.identity)
+        for observer in self.read_observers:
+            observer(request)
+        return (yield from self.head.handle(request))
+
+    # -------------------------------------------------- middleware operations
+    #
+    # Lifecycle operations walk the layers bottom-up (upstream-most
+    # first): flush pushes dirty blocks (and their COMMITs) upstream
+    # before dirty whole files upload; crash releases block-fetch gates
+    # before file-fetch gates.  This matches the monolithic proxy's
+    # event ordering exactly.
+
+    def flush(self) -> Generator:
+        """Process: middleware-signalled write-back of all dirty state.
+
+        Dirty blocks go upstream in *coalesced runs*: adjacent blocks of
+        one file merged into a single large WRITE RPC (up to
+        ``write_coalesce_bytes``), with ``write_pipeline_depth`` RPCs in
+        flight.  Each touched file is then COMMITted and dirty
+        file-cache entries upload through the channel — the paper's
+        session-end consistency point (O/S signal interface).
+        """
+        for layer in reversed(self.layers):
+            yield from layer.flush()
+        yield self.env.timeout(0)
+
+    def crash(self) -> None:
+        """Simulate proxy process death: all in-memory state is lost.
+
+        Cached block *data* survives in the bank files on the host disk,
+        but the tags mapping frames to blocks do not — without the
+        dirty-frame journal, absorbed writes awaiting write-back are
+        gone.  In-flight fetch gates are released so concurrent READs
+        retry instead of wedging (their refetch simply misses).
+        """
+        for layer in reversed(self.layers):
+            layer.crash()
+
+    def recover(self) -> Generator:
+        """Process: restart after :meth:`crash`, replaying the journal.
+
+        Rebuilds the dirty-frame set from the persistent journal (when
+        the cache was configured with one) so the pending write-back is
+        not lost; a subsequent :meth:`flush` pushes it upstream.
+        Returns the recovered block keys.
+        """
+        recovered: List[Tuple] = []
+        for layer in reversed(self.layers):
+            got = yield from layer.recover()
+            if got:
+                recovered.extend(got)
+        yield self.env.timeout(0)
+        return recovered
+
+    def quiesce(self) -> Generator:
+        """Process: wait out every in-flight fetch (demand readahead
+        block fetches *and* file-channel fetches) — cold-cache setup
+        must not race a late insert."""
+        for layer in reversed(self.layers):
+            yield from layer.quiesce()
+        yield self.env.timeout(0)
+
+    def dirty_state(self) -> Tuple[int, int]:
+        """(dirty blocks, dirty whole files) awaiting write-back."""
+        block = self._roles.get("block-cache")
+        channel = self._roles.get("file-channel")
+        return (block.dirty_blocks() if block is not None else 0,
+                channel.dirty_files() if channel is not None else 0)
+
+    def invalidate_caches(self) -> None:
+        """Cold-cache setup: drop cached blocks/files and learned metadata.
+
+        Dirty state must have been flushed first.  Every layer's guard
+        runs before any layer mutates, so a refusal leaves the stack
+        untouched.
+        """
+        blocks, files = self.dirty_state()
+        if blocks or files:
+            raise RuntimeError("invalidate with dirty cached data; flush first")
+        for layer in self.layers:
+            reason = layer.invalidate_guard()
+            if reason:
+                raise RuntimeError(reason)
+        for layer in reversed(self.layers):
+            layer.invalidate()
+
+    # ------------------------------------------------------------------ stats
+    def reset(self) -> None:
+        """Zero the front door and every layer uniformly — including
+        component counters layers own (block cache, file channel)."""
+        self.front_stats.requests = 0
+        for layer in self.layers:
+            layer.reset()
+
+    def stats_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-layer counters, keyed by layer role, front door first."""
+        snap = {"front": {"requests": self.front_stats.requests}}
+        for layer in self.layers:
+            snap[layer.ROLE] = layer.stats_snapshot()
+        return snap
+
+    def format_stack_report(self) -> str:
+        """Human-readable per-layer counter report."""
+        lines = [f"proxy stack {self.config.name}"]
+        for role, counters in self.stats_snapshot().items():
+            shown = {k: v for k, v in counters.items() if v}
+            if shown:
+                body = "  ".join(f"{k}={v}" for k, v in shown.items())
+            else:
+                body = "(idle)"
+            lines.append(f"  {role:<14} {body}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Stack report registry (the CLI's --stack-report flag)
+# --------------------------------------------------------------------------
+
+_report_registry: Optional[List[ProxyStack]] = None
+
+
+def enable_stack_reports() -> None:
+    """Start recording every stack built from now on, so the CLI can
+    print per-layer reports after a run.  Off by default: sessions are
+    built in bulk by benchmarks and must not leak."""
+    global _report_registry
+    _report_registry = []
+
+
+def disable_stack_reports() -> None:
+    global _report_registry
+    _report_registry = None
+
+
+def _register_stack(stack: ProxyStack) -> None:
+    if _report_registry is not None:
+        _report_registry.append(stack)
+
+
+def registered_stacks() -> List[ProxyStack]:
+    return list(_report_registry or ())
+
+
+def format_stack_reports() -> str:
+    """Reports for every recorded stack that saw traffic."""
+    reports = [stack.format_stack_report() for stack in registered_stacks()
+               if stack.front_stats.requests]
+    return "\n\n".join(reports)

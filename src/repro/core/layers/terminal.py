@@ -1,0 +1,34 @@
+"""Terminal layer: the client face of the proxy.
+
+The bottom of every stack: whatever reaches it goes out through the
+stack's upstream RPC client (an SSH tunnel to the next proxy in the
+cascade, or a loopback to the kernel server).  The upstream client is
+looked up on the stack at call time, so middleware (and tests) can
+swap or harden it live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.core.layers.base import ProxyLayer
+
+__all__ = ["UpstreamRpcLayer"]
+
+
+@dataclass
+class UpstreamRpcStats:
+    forwarded: int = 0      # requests that went upstream on the wire
+
+
+class UpstreamRpcLayer(ProxyLayer):
+    """Issue requests upstream like an NFS client."""
+
+    ROLE = "upstream-rpc"
+    Stats = UpstreamRpcStats
+
+    def handle(self, request) -> Generator:
+        self.stats.forwarded += 1
+        reply = yield from self.stack.upstream.call(request)
+        return reply

@@ -164,12 +164,12 @@ class Prefetcher:
             victim = yield from self.proxy.block_cache.insert(
                 (fh, index), reply.data, dirty=False)
             if victim is not None:
-                yield from self.proxy._write_back_block(victim.key,
-                                                        victim.data)
+                yield from self.proxy.layer("block-cache").write_back_block(
+                    victim.key, victim.data)
             self.blocks_fetched += 1
         else:
             self.proxy.stats.prefetch_failed += 1
-            self.proxy._prefetched.discard((fh, index))
+            self.proxy.layer("readahead").prefetched.discard((fh, index))
             self.blocks_skipped += 1
 
     def prefetch(self, profile: AccessProfile) -> Generator:

@@ -1,102 +1,53 @@
-"""The GVFS user-level proxy (§3.1–3.2).
+"""The GVFS user-level proxy (§3.1–3.2), as a composed layer stack.
 
 A proxy *receives* NFS RPC calls (like a server) and *issues* them
-(like a client), so proxies cascade into multi-level hierarchies.  This
-implementation adds, per the paper's extensions:
+(like a client), so proxies cascade into multi-level hierarchies.
+:class:`GvfsProxy` is the canonical composition of the layers in
+:mod:`repro.core.layers`:
 
-* credential remapping (logical user accounts / short-lived identities),
-* the block-based disk cache with write-back or write-through policy,
-* meta-data handling: zero-filled blocks answered locally, whole-file
-  fetches routed through the file-based data channel into the
-  file-based cache (heterogeneous caching),
-* middleware-driven consistency: client COMMITs can be absorbed; the
-  middleware signals write-back/flush explicitly
-  (:meth:`GvfsProxy.flush`), mirroring the O/S-signal interface.
+    attr-patch → metadata/zero-map → [file-channel] →
+    [block-cache → readahead] → fault-guard → upstream-rpc
+
+covering, per the paper's extensions: credential remapping (logical
+user accounts / short-lived identities), the block-based disk cache
+with write-back or write-through policy, meta-data handling
+(zero-filled blocks answered locally, whole-file fetches routed
+through the file-based data channel into the file-based cache —
+heterogeneous caching), and middleware-driven consistency (client
+COMMITs can be absorbed; the middleware signals write-back/flush
+explicitly via :meth:`GvfsProxy.flush`, mirroring the O/S-signal
+interface).
 
 Everything is transparent to the kernel client above and the server
-below: requests and replies are ordinary protocol messages.
+below: requests and replies are ordinary protocol messages.  All
+cache, readahead and degraded-mode logic lives in the layer modules;
+this module only assembles the stack and keeps the legacy surface
+(``stats``, ``_block_gates``, ``_metadata``, …) alive for middleware,
+profilers and tests written against the monolithic proxy.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, Optional, Tuple
 
 from repro.core.blockcache import ProxyBlockCache
 from repro.core.channel import FileChannel
-from repro.core.config import CachePolicy, ProxyConfig
-from repro.core.metadata import FileMetadata, METADATA_SUFFIX, metadata_name_for
-from repro.nfs.protocol import (
-    Fattr,
-    FileHandle,
-    NfsProc,
-    NfsReply,
-    NfsRequest,
-    NfsStatus,
-)
-from repro.nfs.rpc import RpcClient, RpcTimeout
-from repro.sim import AllOf, Environment
+from repro.core.config import ProxyConfig
+from repro.core.layers import ProxyStack, ProxyStats, standard_layers
+from repro.nfs.protocol import FileHandle
+from repro.nfs.rpc import RpcClient
+from repro.sim import Environment
 
 __all__ = ["GvfsProxy", "ProxyStats"]
 
 
-@dataclass
-class ProxyStats:
-    """Counters a session reports to the middleware."""
+class GvfsProxy(ProxyStack):
+    """One user-level file system proxy in a GVFS session chain.
 
-    requests: int = 0
-    forwarded: int = 0
-    zero_filtered_reads: int = 0
-    block_cache_hits: int = 0
-    block_cache_misses: int = 0
-    file_cache_reads: int = 0
-    absorbed_writes: int = 0
-    absorbed_commits: int = 0
-    writebacks: int = 0
-    channel_fetches: int = 0
-    # Pipelined I/O: miss coalescing, readahead, coalesced write-back.
-    coalesced_misses: int = 0       # READs that waited on an in-flight fetch
-    prefetch_issued: int = 0        # blocks scheduled by readahead/profiles
-    prefetch_used: int = 0          # prefetched blocks later hit by demand
-    prefetch_failed: int = 0        # prefetches that returned no data
-    readahead_windows: int = 0      # window launches by the run detector
-    merged_write_rpcs: int = 0      # coalesced upstream WRITEs during flush
-    merged_write_blocks: int = 0    # blocks those WRITEs carried
-    # Robustness: degraded mode and crash recovery.
-    degraded_reads: int = 0         # cache hits served while upstream down
-    degraded_read_errors: int = 0   # misses that failed while upstream down
-    degraded_write_rejects: int = 0 # writes bounced at the dirty high water
-    high_water_writebacks: int = 0  # synchronous drains forced by the limit
-    proxy_crashes: int = 0
-    recovered_dirty_blocks: int = 0 # dirty frames rebuilt from the journal
-
-    def reset(self) -> None:
-        """Zero every counter (mirrors :meth:`ProxyBlockCache.reset_stats`).
-
-        Benchmarks separate a warm-up phase from the measured phase by
-        resetting the counters instead of rebuilding the session."""
-        for f in fields(self):
-            setattr(self, f.name, f.default)
-
-    @property
-    def prefetch_wasted(self) -> int:
-        """Prefetched blocks never consumed by a demand read (so far)."""
-        return max(self.prefetch_issued - self.prefetch_used
-                   - self.prefetch_failed, 0)
-
-    @property
-    def prefetch_accuracy(self) -> float:
-        """used / issued — the fraction of readahead that paid off."""
-        if self.prefetch_issued == 0:
-            return 0.0
-        return self.prefetch_used / self.prefetch_issued
-
-
-class GvfsProxy:
-    """One user-level file system proxy in a GVFS session chain."""
-
-    #: CPU cost of proxy request processing (user-level RPC dispatch).
-    OP_CPU = 30e-6
+    The standard layer composition over an upstream RPC client: pass a
+    ``block_cache`` to enable the disk cache and readahead, a
+    ``channel`` to enable whole-file heterogeneous caching.
+    """
 
     def __init__(self, env: Environment, upstream: RpcClient,
                  config: ProxyConfig = ProxyConfig(),
@@ -104,650 +55,40 @@ class GvfsProxy:
                  channel: Optional[FileChannel] = None):
         if config.cache is not None and block_cache is None:
             raise ValueError("config requests a cache but none was attached")
-        self.env = env
-        self.upstream = upstream
-        self.config = config
-        self.block_cache = block_cache
-        self.channel = channel
-        self.stats = ProxyStats()
-        # fh -> (parent dir fh, leaf name), learned from LOOKUP traffic;
-        # needed to find a file's meta-data in its directory.
-        self._names: Dict[FileHandle, Tuple[FileHandle, str]] = {}
-        # fh -> parsed metadata (None = known absent).
-        self._metadata: Dict[FileHandle, Optional[FileMetadata]] = {}
-        # fh -> in-progress channel fetch gate (concurrent READs wait).
-        self._fetching: Dict[FileHandle, object] = {}
-        # (fh, block) -> in-progress block fetch gate: N concurrent READs
-        # of one uncached block coalesce onto a single upstream RPC.
-        self._block_gates: Dict[Tuple[FileHandle, int], object] = {}
-        # Blocks installed by readahead and not yet demanded (accuracy).
-        self._prefetched: set = set()
-        # Sequential-run detector state, per file handle.
-        self._last_miss: Dict[FileHandle, int] = {}
-        self._miss_run: Dict[FileHandle, int] = {}
-        self._ra_frontier: Dict[FileHandle, int] = {}
-        # fh -> size as locally extended by absorbed writes.
-        self._local_size: Dict[FileHandle, int] = {}
-        # Observers of the incoming request stream (access profilers,
-        # middleware telemetry).  Called synchronously per request.
-        self.read_observers: List = []
+        super().__init__(env, upstream, config,
+                         standard_layers(block_cache=block_cache,
+                                         channel=channel))
 
-    # ------------------------------------------------------------------ utils
+    # ----------------------------------------------------- legacy state views
     @property
-    def _write_back(self) -> bool:
-        return (self.config.cache is not None
-                and self.config.cache.policy is CachePolicy.WRITE_BACK)
+    def _block_gates(self) -> Dict[Tuple[FileHandle, int], object]:
+        layer = self.layer("block-cache")
+        return layer.gates if layer is not None else {}
 
-    def _bs(self) -> int:
-        return self.config.cache.block_size if self.config.cache else 8192
+    @property
+    def _fetching(self) -> Dict[FileHandle, object]:
+        layer = self.layer("file-channel")
+        return layer.fetching if layer is not None else {}
 
-    def _rewrite(self, request: NfsRequest) -> NfsRequest:
-        if self.config.identity is not None:
-            return request.replace(credentials=self.config.identity)
-        return request
+    @property
+    def _metadata(self) -> Dict[FileHandle, object]:
+        return self.layer("metadata").cache
 
-    def _forward(self, request: NfsRequest) -> Generator:
-        self.stats.forwarded += 1
-        reply = yield from self.upstream.call(request)
-        return reply
+    @property
+    def _names(self) -> Dict[FileHandle, Tuple[FileHandle, str]]:
+        return self.layer("attr-patch").names
 
-    def _upstream_down(self) -> bool:
-        """True when the upstream is known-unreachable (breaker open).
+    @property
+    def _local_size(self) -> Dict[FileHandle, int]:
+        return self.layer("attr-patch").local_size
 
-        Pure flag check: the proxy only *knows* the upstream is down
-        when its RPC client carries a circuit breaker that has tripped.
-        """
-        breaker = getattr(self.upstream, "breaker", None)
-        return breaker is not None and breaker.currently_open(self.env.now)
-
-    def _patched_attrs(self, fh: FileHandle,
-                       attrs: Optional[Fattr]) -> Optional[Fattr]:
-        """Adjust server attrs for size growth held in the write-back cache."""
-        if attrs is None:
-            return None
-        local = self._local_size.get(fh)
-        if local is not None and local > attrs.size:
-            from dataclasses import replace
-            return replace(attrs, size=local)
-        return attrs
-
-    # --------------------------------------------------------------- metadata
-    def _metadata_for(self, fh: FileHandle) -> Generator:
-        """Process: find (and cache) the meta-data associated with ``fh``."""
-        if not self.config.metadata:
-            return None
-        if fh in self._metadata:
-            return self._metadata[fh]
-        name_info = self._names.get(fh)
-        if name_info is None:
-            # Never saw a LOOKUP for this handle; cannot locate meta-data.
-            self._metadata[fh] = None
-            return None
-        dir_fh, name = name_info
-        if name.startswith(".") and name.endswith(METADATA_SUFFIX):
-            self._metadata[fh] = None
-            return None
-        look = yield from self.upstream.call(NfsRequest(
-            NfsProc.LOOKUP, fh=dir_fh, name=metadata_name_for(name)))
-        if not look.ok:
-            self._metadata[fh] = None
-            return None
-        raw = bytearray()
-        offset = 0
-        while True:
-            reply = yield from self.upstream.call(NfsRequest(
-                NfsProc.READ, fh=look.fh, offset=offset, count=self._bs()))
-            if not reply.ok or not reply.data:
-                break
-            raw += reply.data
-            offset += len(reply.data)
-            if reply.eof:
-                break
-        try:
-            meta = FileMetadata.from_bytes(bytes(raw))
-        except (ValueError, KeyError):
-            meta = None
-        self._metadata[fh] = meta
-        return meta
-
-    def _ensure_file_cached(self, fh: FileHandle) -> Generator:
-        """Process: run the file channel for ``fh`` exactly once."""
-        assert self.channel is not None
-        if fh in self.channel.file_cache:
-            return
-        gate = self._fetching.get(fh)
-        if gate is not None:
-            yield gate  # someone else is already fetching
-            return
-        gate = self.env.event()
-        self._fetching[fh] = gate
-        try:
-            yield from self.channel.fetch(fh)
-            self.stats.channel_fetches += 1
-        finally:
-            if self._fetching.get(fh) is gate:
-                del self._fetching[fh]
-            if not gate.triggered:
-                gate.succeed()
-
-    # ----------------------------------------------------------------- handle
-    def handle(self, request: NfsRequest) -> Generator:
-        """Process: service one RPC call (the server face of the proxy)."""
-        self.stats.requests += 1
-        yield self.env.timeout(self.OP_CPU)
-        request = self._rewrite(request)
-        for observer in self.read_observers:
-            observer(request)
-        proc = request.proc
-
-        if proc is NfsProc.LOOKUP:
-            reply = yield from self._forward(request)
-            if reply.ok:
-                self._names[reply.fh] = (request.fh, request.name)
-                reply = self._patch_reply_attrs(reply)
-            return reply
-
-        if proc is NfsProc.GETATTR:
-            reply = yield from self._forward(request)
-            return self._patch_reply_attrs(reply) if reply.ok else reply
-
-        if proc is NfsProc.READ:
-            return (yield from self._handle_read(request))
-
-        if proc is NfsProc.WRITE:
-            return (yield from self._handle_write(request))
-
-        if proc is NfsProc.COMMIT:
-            if self._write_back and self.config.absorb_commits:
-                self.stats.absorbed_commits += 1
-                return NfsReply(proc, NfsStatus.OK, fh=request.fh)
-            reply = yield from self._forward(request)
-            return reply
-
-        # Namespace and everything else: pass through.
-        reply = yield from self._forward(request)
-        if reply.ok and proc is NfsProc.CREATE:
-            self._names[reply.fh] = (request.fh, request.name)
-        return reply
-
-    def _patch_reply_attrs(self, reply: NfsReply) -> NfsReply:
-        patched = self._patched_attrs(reply.fh, reply.attrs)
-        if patched is reply.attrs:
-            return reply
-        from dataclasses import replace
-        return replace(reply, attrs=patched)
-
-    # ------------------------------------------------------------------- READ
-    def _handle_read(self, request: NfsRequest) -> Generator:
-        fh, offset, count = request.fh, request.offset, request.count
-
-        meta = yield from self._metadata_for(fh)
-        if meta is not None:
-            # Zero-filled blocks: reconstruct locally, nothing on the wire.
-            if meta.covers_read(offset, count):
-                end = min(offset + count, max(meta.file_size,
-                                              self._local_size.get(fh, 0)))
-                n = max(end - offset, 0)
-                self.stats.zero_filtered_reads += 1
-                return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh,
-                                data=bytes(n), count=n,
-                                eof=offset + n >= meta.file_size)
-            # Whole-file channel: fetch once, then serve from file cache.
-            if meta.wants_file_channel and self.channel is not None:
-                yield from self._ensure_file_cached(fh)
-                data = yield from self.channel.file_cache.read(fh, offset, count)
-                if data is not None:
-                    self.stats.file_cache_reads += 1
-                    size = self.channel.file_cache.entry(fh).size
-                    return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh,
-                                    data=data, count=len(data),
-                                    eof=offset + len(data) >= size)
-
-        # File already in the file cache (e.g. after write-back install)?
-        if self.channel is not None and fh in self.channel.file_cache:
-            data = yield from self.channel.file_cache.read(fh, offset, count)
-            if data is not None:
-                self.stats.file_cache_reads += 1
-                size = self.channel.file_cache.entry(fh).size
-                return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh,
-                                data=data, count=len(data),
-                                eof=offset + len(data) >= size)
-
-        if self.block_cache is None:
-            return (yield from self._forward(request))
-
-        # Block-based disk cache path.  The kernel client issues
-        # block-aligned reads of the mount's rsize; requests that do not
-        # fit one frame are forwarded untouched.
-        bs = self._bs()
-        idx, within = divmod(offset, bs)
-        if within + count > bs:
-            return (yield from self._forward(request))
-        key = (fh, idx)
-        while True:
-            hit = yield from self.block_cache.lookup(key)
-            if hit is not None:
-                self.stats.block_cache_hits += 1
-                if self._upstream_down():
-                    # Read-only degraded mode: clean cached data keeps
-                    # the VM running through the outage.
-                    self.stats.degraded_reads += 1
-                self._consume_prefetch(key, meta)
-                data = hit.data[within:within + count]
-                eof = len(hit.data) < bs and within + count >= len(hit.data)
-                return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh, data=data,
-                                count=len(data), eof=eof)
-            gate = self._block_gates.get(key)
-            if gate is None:
-                break
-            # Another READ (demand or readahead) already has this block
-            # on the wire: wait for its frame instead of issuing a
-            # second upstream RPC for the same bytes.
-            self.stats.coalesced_misses += 1
-            yield gate
-        self.stats.block_cache_misses += 1
-        self._note_demand_miss(fh, idx, meta)
-        gate = self.env.event()
-        self._block_gates[key] = gate
-        victim = None
-        try:
-            upstream_req = request.replace(offset=idx * bs, count=bs)
-            try:
-                reply = yield from self._forward(upstream_req)
-            except RpcTimeout:
-                # Upstream unreachable and the block is not cached: the
-                # VM gets a clean I/O error, not a hang.
-                self.stats.degraded_read_errors += 1
-                reply = NfsReply(NfsProc.READ, NfsStatus.IO, fh=fh)
-            if reply.ok:
-                victim = yield from self.block_cache.insert(
-                    key, reply.data, dirty=False)
-        finally:
-            # Always release the gate, even when the upstream RPC fails —
-            # a failed fetch must never wedge later READs of this block.
-            # (A proxy crash may have already succeeded and dropped it.)
-            if self._block_gates.get(key) is gate:
-                del self._block_gates[key]
-            if not gate.triggered:
-                gate.succeed()
-        if not reply.ok:
-            return reply
-        if victim is not None:
-            yield from self._write_back_block(victim.key, victim.data)
-        data = reply.data[within:within + count]
-        eof = reply.eof and within + count >= len(reply.data)
-        return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh, data=data,
-                        count=len(data), eof=eof,
-                        attrs=self._patched_attrs(fh, reply.attrs))
-
-    # --------------------------------------------------- sequential readahead
-    def _note_demand_miss(self, fh: FileHandle, idx: int,
-                          meta: Optional[FileMetadata]) -> None:
-        """Run detection on the demand-miss stream: K adjacent misses of
-        one file arm a readahead window ahead of the reader."""
-        if self.config.readahead_depth <= 0 or self.block_cache is None:
-            return
-        if self._last_miss.get(fh) == idx - 1:
-            self._miss_run[fh] = self._miss_run.get(fh, 1) + 1
-        else:
-            self._miss_run[fh] = 1
-            self._ra_frontier.pop(fh, None)   # a new run, a new window
-        self._last_miss[fh] = idx
-        if self._miss_run[fh] >= self.config.readahead_min_run:
-            self._extend_readahead(fh, idx, meta)
-
-    def _consume_prefetch(self, key: Tuple[FileHandle, int],
-                          meta: Optional[FileMetadata]) -> None:
-        """A demand READ hit a prefetched frame: account for it and keep
-        the window ``readahead_depth`` blocks ahead of the reader."""
-        if key not in self._prefetched:
-            return
-        self._prefetched.discard(key)
-        self.stats.prefetch_used += 1
-        self._extend_readahead(key[0], key[1], meta)
-
-    def _extend_readahead(self, fh: FileHandle, idx: int,
-                          meta: Optional[FileMetadata]) -> None:
-        """Schedule background fetches up to ``readahead_depth`` blocks
-        past demand block ``idx`` (skipping cached, in-flight and
-        zero-filled blocks, and stopping at the known file size)."""
-        bs = self._bs()
-        lo = idx + 1
-        frontier = self._ra_frontier.get(fh)
-        if frontier is not None and frontier >= lo:
-            lo = frontier + 1
-        size_limit = None
-        if meta is not None:
-            size_limit = max(meta.file_size, self._local_size.get(fh, 0))
-        idxs = []
-        for i in range(lo, idx + 1 + self.config.readahead_depth):
-            if size_limit is not None and i * bs >= size_limit:
-                break
-            key = (fh, i)
-            if key in self._block_gates or key in self.block_cache:
-                continue
-            if meta is not None and meta.covers_read(i * bs, bs):
-                continue   # zero-filled: answered locally, nothing to fetch
-            idxs.append(i)
-        if not idxs:
-            return
-        self._ra_frontier[fh] = idxs[-1]
-        for i in idxs:
-            self._block_gates[(fh, i)] = self.env.event()
-        self.stats.prefetch_issued += len(idxs)
-        self.stats.readahead_windows += 1
-        self.env.process(self._readahead_window(fh, idxs),
-                         name=f"{self.config.name}.readahead")
-
-    def _readahead_window(self, fh: FileHandle, idxs: List[int]) -> Generator:
-        """Background process: fetch a window of blocks concurrently and
-        install it with one merged bank-file write per contiguous run.
-
-        Fire-and-forget: every failure is contained (an unobserved
-        failed process aborts the whole simulation) and every gate is
-        released, so a failed prefetch never wedges later READs.
-        """
-        bs = self._bs()
-        # Snapshot our gates: a proxy crash mid-window releases and
-        # clears them, and recovery may install fresh gates under the
-        # same keys — cleanup must only touch the ones we own.
-        gates = {i: self._block_gates[(fh, i)] for i in idxs}
-        fetched: Dict[int, bytes] = {}
-
-        def fetch_one(i: int) -> Generator:
-            try:
-                reply = yield from self._forward(NfsRequest(
-                    NfsProc.READ, fh=fh, offset=i * bs, count=bs,
-                    credentials=self.config.identity or (0, 0)))
-            except Exception:
-                return
-            if reply.ok and reply.data:
-                fetched[i] = reply.data
-
-        victims: List = []
-        try:
-            yield AllOf(self.env, [self.env.process(fetch_one(i))
-                                   for i in idxs])
-            items = []
-            for i in sorted(fetched):
-                key = (fh, i)
-                self._prefetched.add(key)
-                items.append((key, fetched[i]))
-            if items:
-                victims = yield from self.block_cache.insert_many(items)
-        except Exception:
-            pass
-        finally:
-            self.stats.prefetch_failed += len(idxs) - len(fetched)
-            for i in idxs:
-                gate = gates[i]
-                if self._block_gates.get((fh, i)) is gate:
-                    del self._block_gates[(fh, i)]
-                if not gate.triggered:
-                    gate.succeed()
-        for victim in victims:
-            try:
-                yield from self._write_back_block(victim.key, victim.data)
-            except Exception:
-                pass   # contained: a prefetch must not crash the session
+    @property
+    def _prefetched(self) -> set:
+        return self.layer("readahead").prefetched
 
     def register_prefetch(self, key: Tuple[FileHandle, int]) -> None:
-        """Count an externally issued prefetch (profile-driven
-        :class:`~repro.core.profiler.Prefetcher`) toward accuracy."""
-        self.stats.prefetch_issued += 1
-        self._prefetched.add(key)
-
-    # ------------------------------------------------------------------ WRITE
-    def _handle_write(self, request: NfsRequest) -> Generator:
-        fh, offset, data = request.fh, request.offset, request.data
-
-        # Writes to a file held in the file cache stay local (write-back
-        # of e.g. a checkpointed memory state), uploaded on flush.
-        if self.channel is not None and fh in self.channel.file_cache:
-            yield from self.channel.file_cache.write(fh, offset, data)
-            self.stats.absorbed_writes += 1
-            self._bump_local_size(fh, offset + len(data))
-            return NfsReply(NfsProc.WRITE, NfsStatus.OK, fh=fh, count=len(data))
-
-        if self.block_cache is None or self.block_cache.read_only:
-            # No cache, or a shared read-only cache (golden-image data
-            # only, §3.2.1): writes pass straight through.
-            return (yield from self._forward(request))
-
-        bs = self._bs()
-        idx, within = divmod(offset, bs)
-        if within + len(data) > bs:
-            return (yield from self._forward(request))
-        key = (fh, idx)
-
-        if not self._write_back:
-            # Write-through: server first, then refresh the cached copy.
-            reply = yield from self._forward(request)
-            if reply.ok:
-                try:
-                    yield from self._merge_into_cache(key, within, data)
-                except RpcTimeout:
-                    pass   # server has the data; only the cache refresh failed
-                self._bump_local_size(fh, offset + len(data))
-            return reply
-
-        # Write-back: absorb into the disk cache and acknowledge.  A
-        # dirty high-water mark bounds loss exposure: at the limit, a
-        # write that would dirty a *new* frame first drains a run
-        # synchronously — or, with the upstream down, is rejected (the
-        # cache can't grow the at-risk set during an outage).
-        hw = self.config.dirty_high_water_blocks
-        if (hw > 0 and self.block_cache.dirty_frames >= hw
-                and not self.block_cache.is_dirty(key)):
-            if self._upstream_down():
-                self.stats.degraded_write_rejects += 1
-                return NfsReply(NfsProc.WRITE, NfsStatus.IO, fh=fh)
-            try:
-                runs = self.block_cache.dirty_runs(
-                    self.config.write_coalesce_bytes)
-                if runs:
-                    yield from self._write_back_run(runs[0])
-                    self.stats.high_water_writebacks += 1
-            except RpcTimeout:
-                self.stats.degraded_write_rejects += 1
-                return NfsReply(NfsProc.WRITE, NfsStatus.IO, fh=fh)
-        try:
-            yield from self._merge_into_cache(key, within, data, dirty=True)
-        except RpcTimeout:
-            # The read-modify-write base fetch failed; absorbing the
-            # partial write over a zeroed base would corrupt the block
-            # at flush time, so fail the write cleanly instead.
-            self.stats.degraded_write_rejects += 1
-            return NfsReply(NfsProc.WRITE, NfsStatus.IO, fh=fh)
-        self.stats.absorbed_writes += 1
-        self._bump_local_size(fh, offset + len(data))
-        return NfsReply(NfsProc.WRITE, NfsStatus.OK, fh=fh, count=len(data))
-
-    def _bump_local_size(self, fh: FileHandle, end: int) -> None:
-        if end > self._local_size.get(fh, 0):
-            self._local_size[fh] = end
-
-    def _merge_into_cache(self, key, within: int, data: bytes,
-                          dirty: bool = False) -> Generator:
-        """Process: read-modify-write ``data`` into the cached block."""
-        fh, idx = key
-        bs = self._bs()
-        existing = yield from self.block_cache.lookup(key)
-        if existing is not None:
-            base = bytearray(existing.data)
-            dirty = dirty or existing.dirty
-        elif 0 < within or len(data) < bs:
-            # Partial block not yet cached: fetch it so the cache holds a
-            # complete frame for later reads/write-back (read-modify-write).
-            reply = yield from self.upstream.call(NfsRequest(
-                NfsProc.READ, fh=fh, offset=idx * bs, count=bs,
-                credentials=self.config.identity or (0, 0)))
-            base = bytearray(reply.data if reply.ok else b"")
-        else:
-            base = bytearray()
-        if len(base) < within + len(data):
-            base.extend(bytes(within + len(data) - len(base)))
-        base[within:within + len(data)] = data
-        victim = yield from self.block_cache.insert(key, bytes(base), dirty=dirty)
-        if victim is not None:
-            yield from self._write_back_block(victim.key, victim.data)
+        self.layer("readahead").register_prefetch(key)
 
     def _write_back_block(self, key, data: bytes) -> Generator:
-        """Process: push one dirty block upstream."""
-        fh, idx = key
-        reply = yield from self.upstream.call(NfsRequest(
-            NfsProc.WRITE, fh=fh, offset=idx * self._bs(), data=data,
-            stable=False, credentials=self.config.identity or (0, 0)))
-        reply.raise_for_status(f"write-back {fh} block {idx}")
-        self.stats.writebacks += 1
-
-    # -------------------------------------------------- middleware operations
-    def flush(self) -> Generator:
-        """Process: middleware-signalled write-back of all dirty state.
-
-        Dirty blocks go upstream in *coalesced runs*: adjacent blocks of
-        one file merged into a single large WRITE RPC (up to
-        ``write_coalesce_bytes``), with ``write_pipeline_depth`` RPCs in
-        flight.  Each touched file is then COMMITted and dirty
-        file-cache entries upload through the channel — the paper's
-        session-end consistency point (O/S signal interface).
-        """
-        if self.block_cache is not None:
-            runs = self.block_cache.dirty_runs(
-                self.config.write_coalesce_bytes)
-            touched = set()
-            width = self.config.write_pipeline_depth
-            for start in range(0, len(runs), width):
-                batch = runs[start:start + width]
-                for run in batch:
-                    touched.update(key[0] for key in run)
-                if len(batch) == 1:
-                    yield from self._write_back_run(batch[0])
-                else:
-                    yield AllOf(self.env, [
-                        self.env.process(self._write_back_run(run))
-                        for run in batch])
-            for fh in sorted(touched, key=lambda f: (f.fsid, f.fileid)):
-                reply = yield from self.upstream.call(NfsRequest(
-                    NfsProc.COMMIT, fh=fh))
-                reply.raise_for_status("flush commit")
-        if self.channel is not None:
-            for entry in self.channel.file_cache.dirty_entries():
-                yield from self.channel.upload(entry.fh)
-        yield self.env.timeout(0)
-
-    def _write_back_run(self, run: List[Tuple[FileHandle, int]]) -> Generator:
-        """Process: push one run of adjacent dirty blocks upstream as
-        merged WRITE RPCs.
-
-        Re-validated as it goes: a concurrent readahead insert can evict
-        (and itself write back) parts of the run while we wait on RPCs,
-        so each pass keeps only still-dirty keys and re-splits on the
-        adjacency that is left.
-        """
-        fh = run[0][0]
-        bs = self._bs()
-        remaining = list(run)
-        while remaining:
-            live = [k for k in remaining if self.block_cache.is_dirty(k)]
-            if not live:
-                return
-            end = 1
-            while end < len(live) and live[end][1] == live[end - 1][1] + 1:
-                end += 1
-            sub, remaining = live[:end], live[end:]
-            datas = yield from self.block_cache.read_many(sub)
-            reply = yield from self.upstream.call(NfsRequest(
-                NfsProc.WRITE, fh=fh, offset=sub[0][1] * bs,
-                data=b"".join(datas), stable=False,
-                credentials=self.config.identity or (0, 0)))
-            reply.raise_for_status(
-                f"write-back {fh} blocks {sub[0][1]}..{sub[-1][1]}")
-            for key in sub:
-                self.block_cache.mark_clean(key)
-            self.stats.writebacks += len(sub)
-            self.stats.merged_write_rpcs += 1
-            self.stats.merged_write_blocks += len(sub)
-
-    def crash(self) -> None:
-        """Simulate proxy process death: all in-memory state is lost.
-
-        Cached block *data* survives in the bank files on the host disk,
-        but the tags mapping frames to blocks do not — without the
-        dirty-frame journal, absorbed writes awaiting write-back are
-        gone.  In-flight fetch gates are released so concurrent READs
-        retry instead of wedging (their refetch simply misses).
-        """
-        self.stats.proxy_crashes += 1
-        for gate in self._block_gates.values():
-            if not gate.triggered:
-                gate.succeed()
-        self._block_gates.clear()
-        for gate in self._fetching.values():
-            if not gate.triggered:
-                gate.succeed()
-        self._fetching.clear()
-        self._names.clear()
-        self._metadata.clear()
-        self._local_size.clear()
-        self._prefetched.clear()
-        self._last_miss.clear()
-        self._miss_run.clear()
-        self._ra_frontier.clear()
-        if self.block_cache is not None:
-            self.block_cache.crash()
-        if self.channel is not None:
-            # Whole-file cache state (and any dirty entries) dies with
-            # the process; the journal covers block-cache writes only.
-            self.channel.file_cache.clear()
-
-    def recover(self) -> Generator:
-        """Process: restart after :meth:`crash`, replaying the journal.
-
-        Rebuilds the dirty-frame set from the persistent journal (when
-        the cache was configured with one) so the pending write-back is
-        not lost; a subsequent :meth:`flush` pushes it upstream.
-        Returns the recovered block keys.
-        """
-        recovered: List[Tuple[FileHandle, int]] = []
-        if self.block_cache is not None:
-            recovered = yield from self.block_cache.recover_from_journal()
-            self.stats.recovered_dirty_blocks += len(recovered)
-        yield self.env.timeout(0)
-        return recovered
-
-    def quiesce(self) -> Generator:
-        """Process: wait out every in-flight block fetch (demand or
-        readahead) — cold-cache setup must not race a late insert."""
-        while self._block_gates:
-            key = next(iter(self._block_gates))
-            yield self._block_gates[key]
-        yield self.env.timeout(0)
-
-    def dirty_state(self) -> Tuple[int, int]:
-        """(dirty blocks, dirty whole files) awaiting write-back."""
-        blocks = len(self.block_cache.dirty_blocks()) if self.block_cache else 0
-        files = len(self.channel.file_cache.dirty_entries()) if self.channel else 0
-        return blocks, files
-
-    def invalidate_caches(self) -> None:
-        """Cold-cache setup: drop cached blocks/files and learned metadata.
-
-        Dirty state must have been flushed first.
-        """
-        blocks, files = self.dirty_state()
-        if blocks or files:
-            raise RuntimeError("invalidate with dirty cached data; flush first")
-        if self._block_gates:
-            raise RuntimeError("invalidate with fetches in flight; "
-                               "quiesce first")
-        if self.block_cache is not None:
-            self.block_cache.flush_tags()
-        if self.channel is not None:
-            self.channel.file_cache.clear()
-        self._metadata.clear()
-        self._local_size.clear()
-        self._prefetched.clear()
-        self._last_miss.clear()
-        self._miss_run.clear()
-        self._ra_frontier.clear()
+        return (yield from self.layer("block-cache")
+                .write_back_block(key, data))

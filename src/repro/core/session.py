@@ -43,7 +43,8 @@ from repro.storage.localfs import LocalFileSystem
 from repro.storage.vfs import FsError, Inode
 
 __all__ = ["GvfsSession", "LocalFile", "LocalMount", "Scenario",
-           "SecondLevelCache", "ServerEndpoint"]
+           "SecondLevelCache", "ServerEndpoint", "build_caching_proxy",
+           "direct_file_channel"]
 
 _session_counter = itertools.count(1)
 
@@ -197,6 +198,40 @@ class ServerEndpoint:
 
 
 # --------------------------------------------------------------------------
+# Caching-proxy assembly (shared by client sessions and cache levels)
+# --------------------------------------------------------------------------
+
+def build_caching_proxy(env: Environment, upstream: RpcClient, *, name: str,
+                        cache_config: ProxyCacheConfig, block_cache,
+                        channel, metadata: bool = True) -> GvfsProxy:
+    """One caching GVFS proxy: the standard layer stack (attr patching,
+    zero-map meta-data, file channel, block cache + readahead, fault
+    guard, upstream RPC) over ``upstream``.
+
+    Every cache level in a cascade — the client proxy, a second-level
+    LAN cache, an N-th level — is this same composition; only the
+    upstream RPC client (the next hop) and the cache objects differ.
+    """
+    return GvfsProxy(env, upstream,
+                     ProxyConfig(name=name, cache=cache_config,
+                                 metadata=metadata, **pipeline_overrides()),
+                     block_cache=block_cache, channel=channel)
+
+
+def direct_file_channel(env: Environment, endpoint: ServerEndpoint,
+                        client_host: Host, file_cache: ProxyFileCache,
+                        scp: ScpTransfer,
+                        upload_scp: Optional[ScpTransfer] = None
+                        ) -> FileChannel:
+    """A file channel fetching straight from the image server."""
+    locator = RemoteFileLocator(resolve=endpoint.resolve,
+                                server_host=endpoint.host,
+                                server_fs=endpoint.export,
+                                client_host=client_host)
+    return FileChannel(env, locator, scp, file_cache, upload_scp=upload_scp)
+
+
+# --------------------------------------------------------------------------
 # Second-level (LAN) caching proxy
 # --------------------------------------------------------------------------
 
@@ -206,6 +241,12 @@ class SecondLevelCache:
     "A second-level proxy cache can be setup on a LAN server ... to
     further exploit the locality and provide high speed access to the
     state of golden images" (§3.2.3).
+
+    Cascading is stack composition: this is the *same* layer stack as a
+    client proxy (:func:`build_caching_proxy`), pointed at the image
+    server's proxy over the LAN-server tunnels.  Client sessions then
+    stack on top of it by using :attr:`proxy` as their upstream handler
+    (``GvfsSession.build(..., via=second_level)``).
     """
 
     def __init__(self, testbed: Testbed, endpoint: ServerEndpoint,
@@ -227,19 +268,14 @@ class SecondLevelCache:
                                            name=f"{name}.blocks")
         file_cache = ProxyFileCache(env, self.host.local,
                                     name=f"{name}.files")
-        locator = RemoteFileLocator(resolve=endpoint.resolve,
-                                    server_host=endpoint.host,
-                                    server_fs=endpoint.export,
-                                    client_host=self.host)
         scp = ScpTransfer(env, testbed.lan_server_route_back(),
                           name=f"{name}.scp")
-        self.channel = FileChannel(env, locator, scp, file_cache)
-        self.proxy = GvfsProxy(env, upstream,
-                               ProxyConfig(name=name, cache=cache_config,
-                                           metadata=True,
-                                           **pipeline_overrides()),
-                               block_cache=self.block_cache,
-                               channel=self.channel)
+        self.channel = direct_file_channel(env, endpoint, self.host,
+                                           file_cache, scp)
+        self.proxy = build_caching_proxy(env, upstream, name=name,
+                                         cache_config=cache_config,
+                                         block_cache=self.block_cache,
+                                         channel=self.channel)
 
 
 # --------------------------------------------------------------------------
@@ -386,17 +422,13 @@ class GvfsSession:
                 channel = CascadedFileChannel(
                     env, via.channel, via.host, compute, scp, file_cache)
             else:
-                locator = RemoteFileLocator(resolve=endpoint.resolve,
-                                            server_host=endpoint.host,
-                                            server_fs=endpoint.export,
-                                            client_host=compute)
-                channel = FileChannel(env, locator, scp, file_cache,
-                                      upload_scp=upload_scp)
-            client_proxy = GvfsProxy(
-                env, upstream,
-                ProxyConfig(name=f"s{n}.client-proxy", cache=cache_config,
-                            metadata=metadata, **pipeline_overrides()),
-                block_cache=block_cache, channel=channel)
+                channel = direct_file_channel(env, endpoint, compute,
+                                              file_cache, scp,
+                                              upload_scp=upload_scp)
+            client_proxy = build_caching_proxy(
+                env, upstream, name=f"s{n}.client-proxy",
+                cache_config=cache_config, block_cache=block_cache,
+                channel=channel, metadata=metadata)
             loop = LoopbackTransport(env)
             mount_rpc = RpcClient(env, client_proxy, loop, loop,
                                   name=f"s{n}.mount")

@@ -220,11 +220,10 @@ def _run_flush_storm(quick: bool = False) -> PerfSample:
         yield env.process(session.flush())
 
     def driver(env):
-        # Warm-up burst, then a stats reset instead of a session rebuild.
+        # Warm-up burst, then a uniform stack reset (every layer and
+        # component counter) instead of a session rebuild.
         yield env.process(storm(env, 8 if quick else 16))
-        session.client_proxy.stats.reset()
-        if session.client_proxy.block_cache is not None:
-            session.client_proxy.block_cache.reset_stats()
+        session.client_proxy.reset()
         marks.append(env.now)
         yield env.process(storm(env, n_blocks))
         marks.append(env.now)
