@@ -20,6 +20,14 @@ Commands
     deterministic replay for a fixed seed.  ``--out
     results/BENCH_pr3.json`` archives the metrics; exit code 1 when a
     guarantee is violated (the CI fault-smoke gate).
+``cascadebench``
+    Sweep proxy-cache cascade depth (1-4) and eviction policy
+    (lru/lfu/2q) over cold-clone and kernel-compile workloads,
+    recording per-level hit ratios, and check the cascade guarantees:
+    every level serves hits, and depth-1/depth-2 cascades match the
+    plain proxy / SecondLevelCache bit-identically on simulated time.
+    ``--out results/BENCH_pr5.json`` archives the sweep; exit code 1
+    when a guarantee is violated (the CI cascade-smoke gate).
 ``info``
     Print the calibration constants shared by every experiment.
 ``report``
@@ -241,6 +249,33 @@ def _cmd_faultbench(args) -> int:
     return 0
 
 
+def _cmd_cascadebench(args) -> int:
+    from repro.experiments import cascadebench
+    try:
+        report = cascadebench.run_cascadebench(
+            depths=[int(d) for d in args.depths.split(",")]
+            if args.depths else None,
+            policies=args.policies.split(",") if args.policies else None,
+            workloads=args.workloads.split(",") if args.workloads else None,
+            quick=args.quick)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(cascadebench.format_report(report))
+    if args.out:
+        import json
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"[written to {args.out}]")
+    failures = cascadebench.check_report(report)
+    if failures:
+        print("error: cascade guarantees violated:\n  "
+              + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import assemble_report
     report = assemble_report(args.results_dir)
@@ -354,6 +389,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stack_report_flag(fault)
     fault.set_defaults(func=_cmd_faultbench)
 
+    cascade = sub.add_parser(
+        "cascadebench",
+        help="sweep cache-cascade depth x eviction policy and check "
+             "the cascade guarantees (every level serves hits; "
+             "depth-1/2 match the plain proxy / SecondLevelCache "
+             "bit-identically)")
+    cascade.add_argument("--depths", default=None, metavar="D1,D2",
+                         help="comma-separated cascade depths "
+                              "(default: 1,2,3,4; depth counts the "
+                              "client proxy)")
+    cascade.add_argument("--policies", default=None, metavar="P1,P2",
+                         help="comma-separated eviction policies "
+                              "(default: lru,lfu,2q)")
+    cascade.add_argument("--workloads", default=None, metavar="W1,W2",
+                         help="comma-separated workloads (default: "
+                              "cold_clone,kernel_compile)")
+    cascade.add_argument("--quick", action="store_true",
+                         help="shrunken workloads (CI smoke scale)")
+    cascade.add_argument("--out", default=None, metavar="FILE",
+                         help="write the sweep as JSON "
+                              "(e.g. results/BENCH_pr5.json)")
+    _add_stack_report_flag(cascade)
+    cascade.set_defaults(func=_cmd_cascadebench)
+
     info = sub.add_parser("info", help="print calibration constants")
     info.set_defaults(func=_cmd_info)
 
@@ -372,10 +431,14 @@ def main(argv=None) -> int:
         enable_stack_reports()
         try:
             rc = args.func(args)
-            from repro.core.layers import format_stack_reports
+            from repro.core.layers import (format_cascade_reports,
+                                           format_stack_reports)
             text = format_stack_reports()
             if text:
                 print("\nper-layer proxy stack reports\n" + text)
+            cascades = format_cascade_reports()
+            if cascades:
+                print("\naggregated cascade reports\n" + cascades)
         finally:
             from repro.core.layers import disable_stack_reports
             disable_stack_reports()

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.core.config import ProxyCacheConfig
+from repro.core.eviction import EvictionPolicy, make_policy
 from repro.nfs.protocol import FileHandle
 from repro.sim import Environment
 from repro.storage.localfs import LocalFileSystem
@@ -64,17 +65,21 @@ class _Bank:
     of chasing a per-frame object).
 
     ``keys[i]``/``lengths[i]``/``dirty[i]``/``lru[i]`` describe frame
-    ``i``; a free frame has ``keys[i] is None``.
+    ``i``; a free frame has ``keys[i] is None``.  ``aux`` is the
+    eviction policy's optional per-frame state (LFU counts, 2Q queue
+    tags) — None under plain LRU.
     """
 
-    __slots__ = ("inode", "keys", "lengths", "dirty", "lru")
+    __slots__ = ("inode", "keys", "lengths", "dirty", "lru", "aux")
 
-    def __init__(self, inode: Inode, n_frames: int):
+    def __init__(self, inode: Inode, n_frames: int,
+                 aux: Optional[List[int]] = None):
         self.inode = inode
         self.keys: List[Optional[BlockKey]] = [None] * n_frames
         self.lengths: List[int] = [0] * n_frames
         self.dirty: List[bool] = [False] * n_frames
         self.lru: List[int] = [0] * n_frames
+        self.aux = aux
 
 
 @dataclass(frozen=True)
@@ -87,16 +92,23 @@ class CachedBlock:
 
 
 class ProxyBlockCache:
-    """Set-associative, disk-backed block cache with LRU-in-set."""
+    """Set-associative, disk-backed block cache with pluggable
+    within-set eviction (LRU by default; see
+    :mod:`repro.core.eviction`)."""
 
     def __init__(self, env: Environment, storage: LocalFileSystem,
                  config: ProxyCacheConfig = ProxyCacheConfig(),
-                 name: str = "proxycache", read_only: bool = False):
+                 name: str = "proxycache", read_only: bool = False,
+                 policy: Optional[EvictionPolicy] = None):
         self.env = env
         self.storage = storage
         self.config = config
         self.name = name
         self.read_only = read_only
+        #: Victim-selection strategy; defaults to the config's named
+        #: policy so per-level cascade policies need no extra plumbing.
+        self.policy = policy if policy is not None \
+            else make_policy(config.eviction)
         self._tick = 0
         # bank index -> _Bank (inode + frame tag arrays); created on demand.
         self._banks: Dict[int, _Bank] = {}
@@ -158,7 +170,8 @@ class ProxyBlockCache:
             # "Cache banks are created on the local disk by the proxy on
             # demand."
             inode = self.storage.fs.create(f"{self._root()}/bank{bank_index:04d}")
-            bank = _Bank(inode, self.config.frames_per_bank)
+            n = self.config.frames_per_bank
+            bank = _Bank(inode, n, self.policy.new_bank(n))
             self._banks[bank_index] = bank
         return bank
 
@@ -192,7 +205,7 @@ class ProxyBlockCache:
         bank_index, frame_index = where
         bank = self._banks[bank_index]
         self._tick += 1
-        bank.lru[frame_index] = self._tick
+        self.policy.on_hit(bank, frame_index, self._tick)
         data = yield from self.storage.timed_read_inode(
             bank.inode, self._frame_offset(frame_index),
             self.config.block_size)
@@ -225,7 +238,8 @@ class ProxyBlockCache:
         if existing is not None and existing[0] == bank_index:
             frame_index = existing[1]
         else:
-            # Choose a frame in the set: free first, else LRU.
+            # Choose a frame in the set: free first, else ask the
+            # eviction policy to pick a victim within the full set.
             a = self.config.associativity
             base = set_index * a
             frame_index = None
@@ -234,9 +248,7 @@ class ProxyBlockCache:
                     frame_index = i
                     break
             if frame_index is None:
-                lru = bank.lru
-                frame_index = min(range(base, base + a),
-                                  key=lru.__getitem__)
+                frame_index = self.policy.victim(bank, base, a)
                 self.evictions += 1
                 if bank.dirty[frame_index]:
                     old_data = yield from self.storage.timed_read_inode(
@@ -253,10 +265,11 @@ class ProxyBlockCache:
         self._tick += 1
         was_dirty = keys[frame_index] is not None and bank.dirty[frame_index]
         self.dirty_frames += (dirty - was_dirty)
+        new_block = keys[frame_index] != key
         keys[frame_index] = key
         bank.lengths[frame_index] = len(data)
         bank.dirty[frame_index] = dirty
-        bank.lru[frame_index] = self._tick
+        self.policy.on_fill(bank, frame_index, self._tick, new_block)
         self._where[key] = (bank_index, frame_index)
         self.insertions += 1
         if self.journal_enabled:
@@ -422,6 +435,7 @@ class ProxyBlockCache:
             bank.dirty[:] = [False] * n
             bank.lengths[:] = [0] * n
             bank.lru[:] = [0] * n
+            self.policy.clear_bank(bank)
         self._where.clear()
         self.dirty_frames = 0
         self._journal_live.clear()
@@ -468,7 +482,7 @@ class ProxyBlockCache:
             bank.keys[frame_index] = key
             bank.lengths[frame_index] = length
             bank.dirty[frame_index] = True
-            bank.lru[frame_index] = self._tick
+            self.policy.on_fill(bank, frame_index, self._tick, True)
             self._where[key] = (bank_index, frame_index)
             self._journal_live[key] = (bank_index, frame_index, length, crc)
             recovered.append(key)
@@ -563,6 +577,7 @@ class ProxyBlockCache:
             bank.keys[:] = [None] * n
             bank.dirty[:] = [False] * n
             bank.lengths[:] = [0] * n
+            self.policy.clear_bank(bank)
         self._where.clear()
         self.dirty_frames = 0
         if self.journal_enabled and self._journal_live:

@@ -1,0 +1,158 @@
+"""Pluggable victim-selection policies for the proxy block cache.
+
+The paper stresses that proxies are created *per user / per
+application* and can therefore carry customized cache policies
+(§3.2.1).  :class:`~repro.core.blockcache.ProxyBlockCache` pins the
+geometry (banks, sets, associativity) but delegates *which frame of a
+full set to reclaim* to an :class:`EvictionPolicy`, so every proxy in
+a cascade — the client proxy, a rack-level cache, a site-level cache —
+can run a different replacement policy without touching the cache or
+the layer stack.
+
+A policy sees one cache *set* at a time (victim selection is always
+within the set a block hashes to) and keeps its per-frame state on the
+bank itself:
+
+* ``bank.lru[frame]`` — the recency tick every policy maintains (the
+  cache also uses it for journal-recovery ordering);
+* ``bank.aux[frame]`` — one extra integer per frame, allocated only
+  when the policy asks for it (LFU reference counts, 2Q queue tags).
+
+The contract mirrors exactly the three points the cache already
+touches frame recency at:
+
+* ``on_hit(bank, frame, tick)`` — a lookup served from ``frame``;
+* ``on_fill(bank, frame, tick, new)`` — a placement into ``frame``
+  (``new`` is False when the frame already held the same block);
+* ``victim(bank, base, associativity)`` — pick the frame to reclaim
+  among the *full* set ``[base, base + associativity)``; free frames
+  are taken by the cache before the policy is ever consulted.
+
+The default :class:`LruInSet` reproduces the pre-strategy inline
+behaviour bit-for-bit (least recent tick, lowest frame index on ties),
+so existing golden simulated timings are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+__all__ = ["POLICIES", "EvictionPolicy", "LfuInSet", "LruInSet",
+           "TwoQInSet", "make_policy"]
+
+
+class EvictionPolicy:
+    """Strategy interface for within-set victim selection."""
+
+    #: Registry key and the name shown in stack/cascade reports.
+    name = "policy"
+    #: Whether banks must carry the per-frame ``aux`` integer array.
+    uses_aux = False
+
+    def new_bank(self, n_frames: int) -> Optional[List[int]]:
+        """Per-frame auxiliary state for a freshly created bank."""
+        return [0] * n_frames if self.uses_aux else None
+
+    def clear_bank(self, bank) -> None:
+        """Reset auxiliary state when the bank's tags drop (cache
+        invalidation or proxy crash).  ``bank.lru`` is reset by the
+        cache itself."""
+        if bank.aux is not None:
+            bank.aux[:] = [0] * len(bank.aux)
+
+    def on_hit(self, bank, frame: int, tick: int) -> None:
+        bank.lru[frame] = tick
+
+    def on_fill(self, bank, frame: int, tick: int, new: bool) -> None:
+        bank.lru[frame] = tick
+
+    def victim(self, bank, base: int, associativity: int) -> int:
+        raise NotImplementedError
+
+
+class LruInSet(EvictionPolicy):
+    """Least-recently-used within the set — the paper's (and the
+    pre-strategy cache's) default.  Ties break on the lowest frame
+    index, matching ``min`` over the tick array."""
+
+    name = "lru"
+
+    def victim(self, bank, base: int, associativity: int) -> int:
+        lru = bank.lru
+        return min(range(base, base + associativity), key=lru.__getitem__)
+
+
+class LfuInSet(EvictionPolicy):
+    """Least-frequently-used within the set, LRU tie-break.
+
+    ``aux`` counts references since the frame was last (re)filled with
+    a new block; a refill with the same block keeps accumulating, so a
+    hot block rewritten in place is not demoted.
+    """
+
+    name = "lfu"
+    uses_aux = True
+
+    def on_hit(self, bank, frame: int, tick: int) -> None:
+        bank.lru[frame] = tick
+        bank.aux[frame] += 1
+
+    def on_fill(self, bank, frame: int, tick: int, new: bool) -> None:
+        bank.lru[frame] = tick
+        if new:
+            bank.aux[frame] = 1
+        else:
+            bank.aux[frame] += 1
+
+    def victim(self, bank, base: int, associativity: int) -> int:
+        aux, lru = bank.aux, bank.lru
+        return min(range(base, base + associativity),
+                   key=lambda i: (aux[i], lru[i]))
+
+
+class TwoQInSet(EvictionPolicy):
+    """2Q adapted to a set-associative cache (scan resistance).
+
+    The classic 2Q splits the cache into a probationary A1 queue for
+    first-time references and a protected Am queue for re-referenced
+    blocks.  Within one set, ``aux`` is the queue tag: a filled frame
+    starts probationary (0) and is promoted (1) on its first hit.
+    Victim selection reclaims the LRU *probationary* frame first, so a
+    one-pass streaming scan recycles its own frames instead of evicting
+    the re-referenced working set; only when the whole set is protected
+    does plain LRU apply.
+    """
+
+    name = "2q"
+    uses_aux = True
+
+    def on_hit(self, bank, frame: int, tick: int) -> None:
+        bank.lru[frame] = tick
+        bank.aux[frame] = 1
+
+    def on_fill(self, bank, frame: int, tick: int, new: bool) -> None:
+        bank.lru[frame] = tick
+        if new:
+            bank.aux[frame] = 0
+
+    def victim(self, bank, base: int, associativity: int) -> int:
+        aux, lru = bank.aux, bank.lru
+        frames = range(base, base + associativity)
+        probation = [i for i in frames if not aux[i]]
+        return min(probation or frames, key=lru.__getitem__)
+
+
+POLICIES: Dict[str, Type[EvictionPolicy]] = {
+    LruInSet.name: LruInSet,
+    LfuInSet.name: LfuInSet,
+    TwoQInSet.name: TwoQInSet,
+}
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """Instantiate a registered policy by name (``lru``/``lfu``/``2q``)."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown eviction policy {name!r}; "
+                         f"choose from {sorted(POLICIES)}") from None

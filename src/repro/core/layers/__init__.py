@@ -22,6 +22,7 @@ from repro.core.layers.stack import (
     ProxyStats,
     disable_stack_reports,
     enable_stack_reports,
+    format_cascade_reports,
     format_stack_reports,
     registered_stacks,
     standard_layers,
@@ -43,6 +44,7 @@ __all__ = [
     "ZeroMapLayer",
     "disable_stack_reports",
     "enable_stack_reports",
+    "format_cascade_reports",
     "format_stack_reports",
     "registered_stacks",
     "standard_layers",

@@ -44,6 +44,7 @@ __all__ = [
     "ProxyStats",
     "disable_stack_reports",
     "enable_stack_reports",
+    "format_cascade_reports",
     "format_stack_reports",
     "registered_stacks",
     "standard_layers",
@@ -197,6 +198,25 @@ class ProxyStack:
         """The first layer with ``ROLE == role``, or None."""
         return self._roles.get(role)
 
+    # ----------------------------------------------------------- the cascade
+    def upstream_stack(self) -> Optional["ProxyStack"]:
+        """The next proxy stack up the cascade, if this stack's upstream
+        RPC client points at one (cascading is stack composition: a
+        second-level cache, an N-th level, the server-side forwarding
+        proxy).  None when the upstream is a kernel NFS server."""
+        handler = getattr(self.upstream, "handler", None)
+        return handler if isinstance(handler, ProxyStack) else None
+
+    def cascade_stacks(self) -> List["ProxyStack"]:
+        """Every stack from here to the origin, client-ward first
+        (``[self]`` when nothing proxies above the upstream server)."""
+        stacks: List[ProxyStack] = []
+        stack: Optional[ProxyStack] = self
+        while stack is not None and stack not in stacks:
+            stacks.append(stack)
+            stack = stack.upstream_stack()
+        return stacks
+
     @property
     def block_cache(self):
         layer = self._roles.get("block-cache")
@@ -329,19 +349,51 @@ class ProxyStack:
             layer.invalidate()
 
     # ------------------------------------------------------------------ stats
-    def reset(self) -> None:
+    def reset(self, deep: bool = True) -> None:
         """Zero the front door and every layer uniformly — including
-        component counters layers own (block cache, file channel)."""
-        self.front_stats.requests = 0
-        for layer in self.layers:
-            layer.reset()
+        component counters layers own (block cache, file channel).
 
-    def stats_snapshot(self) -> Dict[str, Dict[str, int]]:
-        """Per-layer counters, keyed by layer role, front door first."""
-        snap = {"front": {"requests": self.front_stats.requests}}
+        ``deep`` (the default) resets *every level of the cascade* this
+        stack heads — intermediate cache levels and the server-side
+        forwarding proxy included — so a benchmark's warm-up/measure
+        split never leaks warm-up counters through a deeper level.
+        ``deep=False`` resets only this stack.
+        """
+        stacks = self.cascade_stacks() if deep else [self]
+        for stack in stacks:
+            stack.front_stats.requests = 0
+            for layer in stack.layers:
+                layer.reset()
+
+    def stats_snapshot(self, deep: bool = False) -> Dict[str, Dict[str, int]]:
+        """Per-layer counters, keyed by layer role, front door first.
+
+        With ``deep=True`` the snapshot covers every level of the
+        cascade: each upstream proxy stack's snapshot nests under an
+        ``"upstream"`` key (name plus its own per-layer counters), so a
+        cascade's full cache behaviour reads out of one call.
+        """
+        snap: Dict = {"front": {"requests": self.front_stats.requests}}
         for layer in self.layers:
             snap[layer.ROLE] = layer.stats_snapshot()
+        if deep:
+            up = self.upstream_stack()
+            if up is not None:
+                snap["upstream"] = {"name": up.config.name,
+                                    "layers": up.stats_snapshot(deep=True)}
         return snap
+
+    def hit_ratio(self) -> Optional[float]:
+        """This stack's block-cache hit ratio (None without a cache or
+        before any block traffic)."""
+        layer = self._roles.get("block-cache")
+        if layer is None:
+            return None
+        hits = layer.stats.block_cache_hits
+        misses = layer.stats.block_cache_misses
+        if hits + misses == 0:
+            return None
+        return hits / (hits + misses)
 
     def format_stack_report(self) -> str:
         """Human-readable per-layer counter report."""
@@ -353,6 +405,28 @@ class ProxyStack:
             else:
                 body = "(idle)"
             lines.append(f"  {role:<14} {body}")
+        return "\n".join(lines)
+
+    def format_cascade_report(self) -> str:
+        """Aggregated per-level report for the cascade this stack heads:
+        one line per level with its block-cache hit/miss/ratio and
+        forwarded request count."""
+        lines = [f"cascade from {self.config.name} "
+                 f"(depth {len(self.cascade_stacks())})"]
+        for i, stack in enumerate(self.cascade_stacks(), start=1):
+            layer = stack._roles.get("block-cache")
+            if layer is None:
+                body = (f"requests={stack.front_stats.requests} "
+                        "(no block cache)")
+            else:
+                hits = layer.stats.block_cache_hits
+                misses = layer.stats.block_cache_misses
+                ratio = hits / (hits + misses) if hits + misses else 0.0
+                body = (f"requests={stack.front_stats.requests} "
+                        f"hits={hits} misses={misses} "
+                        f"hit_ratio={ratio:.3f} "
+                        f"eviction={layer.block_cache.policy.name}")
+            lines.append(f"  L{i} {stack.config.name:<20} {body}")
         return "\n".join(lines)
 
 
@@ -390,3 +464,18 @@ def format_stack_reports() -> str:
     reports = [stack.format_stack_report() for stack in registered_stacks()
                if stack.front_stats.requests]
     return "\n\n".join(reports)
+
+
+def format_cascade_reports() -> str:
+    """Aggregated cascade reports, one per recorded cascade head.
+
+    A *head* is a stack that saw traffic, proxies through at least one
+    further stack, and is not itself an upstream level of another
+    recorded stack — i.e. the client proxy of each session chain.
+    """
+    stacks = [s for s in registered_stacks() if s.front_stats.requests]
+    upstream_ids = {id(level) for s in stacks
+                    for level in s.cascade_stacks()[1:]}
+    heads = [s for s in stacks
+             if id(s) not in upstream_ids and s.upstream_stack() is not None]
+    return "\n\n".join(s.format_cascade_report() for s in heads)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Generator, List, Optional, Sequence, Union
 
 from repro.core.blockcache import ProxyBlockCache
 from repro.core.channel import CascadedFileChannel, FileChannel, RemoteFileLocator
@@ -42,8 +42,9 @@ from repro.sim import Environment
 from repro.storage.localfs import LocalFileSystem
 from repro.storage.vfs import FsError, Inode
 
-__all__ = ["GvfsSession", "LocalFile", "LocalMount", "Scenario",
-           "SecondLevelCache", "ServerEndpoint", "build_caching_proxy",
+__all__ = ["CascadeLevel", "CascadeLevelSpec", "GvfsSession", "LocalFile",
+           "LocalMount", "ProxyCascade", "Scenario", "SecondLevelCache",
+           "ServerEndpoint", "build_cascade", "build_caching_proxy",
            "direct_file_channel"]
 
 _session_counter = itertools.count(1)
@@ -232,50 +233,183 @@ def direct_file_channel(env: Environment, endpoint: ServerEndpoint,
 
 
 # --------------------------------------------------------------------------
-# Second-level (LAN) caching proxy
+# Cache cascades: intermediate caching-proxy levels between client and origin
 # --------------------------------------------------------------------------
 
-class SecondLevelCache:
+class CascadeLevel:
+    """One intermediate caching proxy in an N-level cache cascade.
+
+    Cascading is stack composition: every level is the *same* layer
+    stack as a client proxy (:func:`build_caching_proxy`), pointed
+    either at the next level up the cascade (``above``) or straight at
+    the image server's proxy.  Client sessions (or lower levels) stack
+    on top by using :attr:`proxy` as their upstream handler.
+
+    ``link`` names the network the upstream hop crosses (``"lan"`` or
+    ``"wan"``); by default it is inferred from the upstream host (WAN
+    for the WAN image server, campus Ethernet otherwise).
+    """
+
+    def __init__(self, testbed: Testbed, endpoint: ServerEndpoint,
+                 host: Host,
+                 cache_config: Optional[ProxyCacheConfig] = None,
+                 name: str = "cache-level",
+                 above: Optional["CascadeLevel"] = None,
+                 link: Optional[str] = None):
+        env = testbed.env
+        self.env = env
+        self.testbed = testbed
+        self.endpoint = endpoint
+        self.host = host
+        self.above = above
+        self.name = name
+        cache_config = cache_config or ProxyCacheConfig()
+        self.cache_config = cache_config
+        upstream_host = above.host if above is not None else endpoint.host
+        if link is None:
+            link = "wan" if upstream_host is testbed.wan_server else "lan"
+        if link not in ("lan", "wan"):
+            raise ValueError(f"link must be 'lan' or 'wan', got {link!r}")
+        self.link = link
+        via_wan = link == "wan"
+        tunnel_out = SshTunnel(env, testbed.route(host, upstream_host,
+                                                  via_wan),
+                               name=f"{name}.out")
+        tunnel_back = SshTunnel(env, testbed.route(upstream_host, host,
+                                                   via_wan),
+                                name=f"{name}.back")
+        upstream_handler = (above.proxy if above is not None
+                            else endpoint.proxy)
+        upstream = RpcClient(env, upstream_handler, tunnel_out, tunnel_back,
+                             name=f"{name}.rpc")
+        self.block_cache = ProxyBlockCache(env, self.host.local, cache_config,
+                                           name=f"{name}.blocks")
+        file_cache = ProxyFileCache(env, self.host.local,
+                                    name=f"{name}.files")
+        scp = ScpTransfer(env, testbed.route(upstream_host, host, via_wan),
+                          name=f"{name}.scp")
+        if above is not None:
+            self.channel = CascadedFileChannel(env, above.channel,
+                                               above.host, host, scp,
+                                               file_cache)
+        else:
+            self.channel = direct_file_channel(env, endpoint, self.host,
+                                               file_cache, scp)
+        self.proxy = build_caching_proxy(env, upstream, name=name,
+                                         cache_config=cache_config,
+                                         block_cache=self.block_cache,
+                                         channel=self.channel)
+
+
+class SecondLevelCache(CascadeLevel):
     """A caching GVFS proxy on a LAN server, shared by compute nodes.
 
     "A second-level proxy cache can be setup on a LAN server ... to
     further exploit the locality and provide high speed access to the
     state of golden images" (§3.2.3).
 
-    Cascading is stack composition: this is the *same* layer stack as a
-    client proxy (:func:`build_caching_proxy`), pointed at the image
-    server's proxy over the LAN-server tunnels.  Client sessions then
-    stack on top of it by using :attr:`proxy` as their upstream handler
-    (``GvfsSession.build(..., via=second_level)``).
+    The two-level special case of a :class:`CascadeLevel` cascade: one
+    intermediate level on the LAN image server, reaching the origin
+    across the WAN.  ``build_cascade(testbed, endpoint, levels=[spec])``
+    builds the identical wiring.
     """
 
     def __init__(self, testbed: Testbed, endpoint: ServerEndpoint,
                  cache_config: Optional[ProxyCacheConfig] = None,
                  name: str = "second-level"):
-        env = testbed.env
-        self.env = env
-        self.testbed = testbed
-        self.endpoint = endpoint
-        self.host = testbed.lan_server
-        cache_config = cache_config or ProxyCacheConfig()
-        tunnel_out = SshTunnel(env, testbed.lan_server_route(),
-                               name=f"{name}.out")
-        tunnel_back = SshTunnel(env, testbed.lan_server_route_back(),
-                                name=f"{name}.back")
-        upstream = RpcClient(env, endpoint.proxy, tunnel_out, tunnel_back,
-                             name=f"{name}.rpc")
-        self.block_cache = ProxyBlockCache(env, self.host.local, cache_config,
-                                           name=f"{name}.blocks")
-        file_cache = ProxyFileCache(env, self.host.local,
-                                    name=f"{name}.files")
-        scp = ScpTransfer(env, testbed.lan_server_route_back(),
-                          name=f"{name}.scp")
-        self.channel = direct_file_channel(env, endpoint, self.host,
-                                           file_cache, scp)
-        self.proxy = build_caching_proxy(env, upstream, name=name,
-                                         cache_config=cache_config,
-                                         block_cache=self.block_cache,
-                                         channel=self.channel)
+        super().__init__(testbed, endpoint, host=testbed.lan_server,
+                         cache_config=cache_config, name=name, link="wan")
+
+
+@dataclass(frozen=True)
+class CascadeLevelSpec:
+    """Declarative description of one cascade level for
+    :func:`build_cascade`.
+
+    ``cache_config`` carries the level's block-cache geometry *and*
+    eviction policy (``ProxyCacheConfig.eviction``); ``link`` the
+    network of the hop toward the next level (``"lan"``/``"wan"``,
+    default inferred from the upstream host); ``host`` pins the level
+    to an existing testbed host (default: the LAN image server for the
+    origin-adjacent level, a freshly attached LAN host otherwise).
+    """
+
+    cache_config: Optional[ProxyCacheConfig] = None
+    link: Optional[str] = None
+    host: Optional[Host] = None
+    name: Optional[str] = None
+
+
+class ProxyCascade:
+    """An assembled cascade: the intermediate levels between client
+    sessions and the image server, ordered client-ward first.
+
+    ``levels[0]`` (:attr:`top`) is what sessions attach to via
+    ``GvfsSession.build(..., via=cascade)``; ``levels[-1]`` talks to
+    the server endpoint.  The *cascade depth* counts the client proxy
+    too: ``depth == len(levels) + 1`` (a depth-1 cascade has no
+    intermediate levels and is a plain caching client proxy).
+    """
+
+    def __init__(self, levels: List[CascadeLevel]):
+        self.levels = list(levels)
+
+    @property
+    def top(self) -> Optional[CascadeLevel]:
+        return self.levels[0] if self.levels else None
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels) + 1
+
+    def stacks(self) -> List[GvfsProxy]:
+        """The levels' proxy stacks, client-ward first."""
+        return [level.proxy for level in self.levels]
+
+    def reset(self) -> None:
+        """Zero every level's counters (the client proxy, built per
+        session, resets itself via ``ProxyStack.reset``)."""
+        for level in self.levels:
+            level.proxy.reset(deep=False)
+
+    def stats_snapshots(self) -> List[dict]:
+        """Per-level counter snapshots, client-ward first."""
+        return [level.proxy.stats_snapshot() for level in self.levels]
+
+
+def build_cascade(testbed: Testbed, endpoint: ServerEndpoint,
+                  levels: Sequence[Union[CascadeLevelSpec, ProxyCacheConfig]],
+                  name: str = "cascade") -> ProxyCascade:
+    """Assemble an arbitrary-depth proxy-cache cascade (§3.2.3
+    generalized): compute node → rack cache → … → site cache → origin.
+
+    ``levels`` lists the *intermediate* cache levels, ordered
+    client-ward → origin-ward; each entry is a :class:`CascadeLevelSpec`
+    (or a bare :class:`ProxyCacheConfig` as shorthand).  An empty list
+    yields a depth-1 cascade — sessions then run a plain caching client
+    proxy.  The origin-adjacent level defaults to the LAN image server
+    host reaching the origin across the WAN (exactly the classic
+    :class:`SecondLevelCache` wiring); additional client-ward levels
+    get their own LAN-attached hosts.
+    """
+    specs = [spec if isinstance(spec, CascadeLevelSpec)
+             else CascadeLevelSpec(cache_config=spec) for spec in levels]
+    built: List[CascadeLevel] = []
+    above: Optional[CascadeLevel] = None
+    for pos in range(len(specs) - 1, -1, -1):
+        spec = specs[pos]
+        level_no = pos + 2          # the client proxy is level 1
+        host = spec.host
+        if host is None:
+            host = (testbed.lan_server if above is None
+                    else testbed.add_host(f"{name}-l{level_no}"))
+        above = CascadeLevel(testbed, endpoint, host=host,
+                             cache_config=spec.cache_config,
+                             name=spec.name or f"{name}-l{level_no}",
+                             above=above, link=spec.link)
+        built.append(above)
+    built.reverse()
+    return ProxyCascade(built)
 
 
 # --------------------------------------------------------------------------
@@ -356,14 +490,17 @@ class GvfsSession:
               cache_config: Optional[ProxyCacheConfig] = None,
               mount_options: Optional[MountOptions] = None,
               metadata: bool = True,
-              via: Optional[SecondLevelCache] = None,
+              via: Optional[Union[CascadeLevel, ProxyCascade]] = None,
               shared_block_cache: Optional[ProxyBlockCache] = None
               ) -> "GvfsSession":
         """Wire a session for ``scenario`` on compute node ``compute_index``.
 
         ``endpoint`` names the image server side (defaults to the WAN
         server for WAN scenarios, the LAN server for LAN).  ``via``
-        interposes a second-level LAN cache.  ``cache_config`` overrides
+        interposes a cache cascade: a :class:`SecondLevelCache`, any
+        :class:`CascadeLevel`, or a whole :class:`ProxyCascade` (whose
+        top level is used; an empty cascade means no intermediate
+        levels).  ``cache_config`` overrides
         the client cache geometry for WAN_CACHED (defaults to §4.1's
         512 banks / 16-way / 8 GB).  ``shared_block_cache`` lets several
         sessions on one host share a read-only cache of golden-image
@@ -372,6 +509,8 @@ class GvfsSession:
         env = testbed.env
         n = next(_session_counter)
         compute = testbed.compute[compute_index]
+        if isinstance(via, ProxyCascade):
+            via = via.top
 
         if scenario is Scenario.LOCAL:
             return cls(env=env, scenario=scenario,
@@ -383,13 +522,13 @@ class GvfsSession:
             endpoint = ServerEndpoint(env, host)
 
         # Data channel routes for this session: follow the physical
-        # location of the next hop (a second-level cache or the image
+        # location of the next hop (a cascade cache level or the image
         # server itself), so an endpoint on the LAN server is reached
         # over LAN links even in a WAN-named scenario (e.g. a user-data
         # server co-located on the LAN).
         if via is not None:
-            route_out = testbed.lan_route(compute_index)
-            route_back = testbed.lan_route_back(compute_index)
+            route_out = testbed.route(compute, via.host)
+            route_back = testbed.route(via.host, compute)
             upstream_handler = via.proxy
         elif endpoint.host is testbed.wan_server:
             route_out = testbed.wan_route(compute_index)

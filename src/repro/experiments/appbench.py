@@ -38,6 +38,9 @@ class AppBenchResult:
     #: Time of the middleware-driven flush of dirty write-back state at
     #: session end (the paper's ~160 s for the LaTeX session).
     flush_seconds: float = 0.0
+    #: The session the runs executed under, for post-run cache-stat
+    #: inspection (cascade experiments read per-level hit ratios).
+    session: Optional[GvfsSession] = None
 
     def run_total(self, run: int = 0) -> float:
         return self.runs[run].total_seconds
@@ -60,25 +63,36 @@ def run_application_benchmark(scenario: Scenario,
                               runs: int = 1,
                               testbed: Optional[Testbed] = None,
                               mount_options: Optional[MountOptions] = None,
+                              endpoint: Optional[ServerEndpoint] = None,
+                              via=None,
+                              cache_config=None,
+                              cold_between: bool = False,
                               ) -> AppBenchResult:
     """Run ``runs`` consecutive executions of a workload in a VM under
     ``scenario``; returns per-run phase timings.
 
     The first run starts with cold caches; later runs inherit warm
-    state (Figure 5's cold/warm pair is ``runs=2``).
+    state (Figure 5's cold/warm pair is ``runs=2``).  ``cold_between``
+    instead cold-restarts the *client* (kernel caches, guest page
+    cache, client proxy caches) before every run — intermediate cascade
+    levels interposed with ``via`` (a ``CascadeLevel`` or
+    ``ProxyCascade``) stay warm, which is how the cascade experiments
+    measure per-level locality.  ``endpoint`` reuses a caller-built
+    image-server side (required when ``via`` points at a cascade built
+    against it).
     """
     testbed = testbed or make_paper_testbed()
     env = testbed.env
 
-    endpoint = None
-    if scenario is not Scenario.LOCAL:
+    if endpoint is None and scenario is not Scenario.LOCAL:
         host = (testbed.lan_server if scenario is Scenario.LAN
                 else testbed.wan_server)
         endpoint = ServerEndpoint(env, host)
     image = VmImage.create(_image_home(testbed, scenario, endpoint),
                            "/images/appvm", APP_VM_CONFIG)
     session = GvfsSession.build(testbed, scenario, endpoint=endpoint,
-                                mount_options=mount_options)
+                                mount_options=mount_options, via=via,
+                                cache_config=cache_config)
 
     sample = workload_factory()
     result = AppBenchResult(scenario=scenario, workload=sample.name)
@@ -93,7 +107,10 @@ def run_application_benchmark(scenario: Scenario,
         # Cold-cache setup for the first run.
         yield env.process(session.cold_caches())
         vm.drop_guest_caches()
-        for _ in range(runs):
+        for run_index in range(runs):
+            if cold_between and run_index:
+                yield env.process(session.cold_caches())
+                vm.drop_guest_caches()
             workload = workload_factory()
             run_result = yield env.process(workload.run(vm))
             result.runs.append(run_result)
@@ -105,4 +122,5 @@ def run_application_benchmark(scenario: Scenario,
 
     env.process(driver(env))
     env.run()
+    result.session = session
     return result

@@ -118,7 +118,29 @@ class Testbed:
                 env, lan.latency, lan.bandwidth, name=f"{host.name}.eth")
         self.wan_segment = duplex(env, wan.latency, wan.bandwidth, name="abilene")
 
+    # -- host construction --------------------------------------------------
+    def add_host(self, name: str, cpus: int = 2, cpu_speed: float = 1.6,
+                 page_cache_bytes: int = 512 * 1024 * 1024) -> Host:
+        """Add a LAN-attached host (e.g. an intermediate cascade-cache
+        server) with its own access-link pair, routable to every other
+        host via :meth:`route`.  Defaults mirror the LAN image server.
+        """
+        if name in self._access:
+            raise ValueError(f"host {name!r} already exists")
+        host = Host(self.env, name, cpus=cpus, cpu_speed=cpu_speed,
+                    page_cache_bytes=page_cache_bytes)
+        self._access[name] = duplex(
+            self.env, self.lan_conditions.latency,
+            self.lan_conditions.bandwidth, name=f"{name}.eth")
+        return host
+
     # -- route construction -------------------------------------------------
+    def route(self, src: Host, dst: Host, via_wan: bool = False) -> Route:
+        """A route between any two attached hosts.  ``via_wan`` inserts
+        the shared Abilene segment (cache-cascade hops between LAN hosts
+        stay on campus Ethernet)."""
+        return self._route(src, dst, via_wan)
+
     def _route(self, src: Host, dst: Host, via_wan: bool) -> Route:
         src_up, _ = self._access[src.name]
         _, dst_down = self._access[dst.name]

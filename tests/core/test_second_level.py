@@ -1,8 +1,15 @@
-"""Block-path tests for the second-level (LAN) caching proxy."""
+"""Block-path tests for the second-level (LAN) caching proxy, and the
+equivalence of ``build_cascade`` with the sessions it generalizes."""
 
 import pytest
 
-from repro.core.session import GvfsSession, Scenario, SecondLevelCache, ServerEndpoint
+from repro.core.session import (
+    GvfsSession,
+    Scenario,
+    SecondLevelCache,
+    ServerEndpoint,
+    build_cascade,
+)
 from repro.net.topology import Testbed
 from repro.sim import Environment
 from repro.vm.image import VmConfig, VmImage
@@ -92,3 +99,63 @@ def test_data_integrity_through_three_proxies():
     for block in (0, 5, 11):
         box = run(testbed, read_block(sessions[1], block)(testbed.env))
         assert box["value"] == golden.read(block * 8192, 8192)
+
+
+# -- build_cascade is pure generalization: bit-identical equivalence --------
+
+def _read_sequence(via_factory, n_compute=2):
+    """Run a fixed cross-session read sequence against whatever
+    ``via_factory(testbed, endpoint)`` interposes; return per-read
+    (simulated time, bytes) pairs plus every proxy's stats snapshot."""
+    testbed = Testbed(Environment(), n_compute=n_compute)
+    endpoint = ServerEndpoint(testbed.env, testbed.wan_server)
+    image = VmImage.create(endpoint.export.fs, "/images/golden",
+                           VmConfig(name="golden", memory_mb=2, disk_gb=0.01,
+                                    seed=47))
+    via, levels = via_factory(testbed, endpoint)
+    sessions = [GvfsSession.build(testbed, Scenario.WAN_CACHED,
+                                  endpoint=endpoint, compute_index=i,
+                                  cache_config=SMALL_CACHE, via=via)
+                for i in range(n_compute)]
+    trace = []
+    for session_index, block in [(0, 0), (1, 0), (0, 3), (1, 5), (1, 3)]:
+        box = run(testbed, read_block(sessions[session_index],
+                                      block)(testbed.env))
+        trace.append((testbed.env.now, box["value"]))
+    snapshots = ([level.proxy.stats_snapshot() for level in levels]
+                 + [s.client_proxy.stats_snapshot() for s in sessions])
+    return trace, snapshots
+
+
+def test_depth2_cascade_matches_second_level_cache_goldens():
+    """A depth-2 ``build_cascade`` must stay byte- and simulated-time-
+    identical to the literal ``SecondLevelCache`` wiring."""
+    def classic(testbed, endpoint):
+        level = SecondLevelCache(testbed, endpoint, SMALL_CACHE)
+        return level, [level]
+
+    def cascaded(testbed, endpoint):
+        cascade = build_cascade(testbed, endpoint, [SMALL_CACHE])
+        return cascade, cascade.levels
+
+    ref_trace, ref_snaps = _read_sequence(classic)
+    new_trace, new_snaps = _read_sequence(cascaded)
+    assert new_trace == ref_trace
+    assert new_snaps == ref_snaps
+
+
+def test_depth1_cascade_is_a_plain_caching_proxy():
+    """``build_cascade(levels=[])`` interposes nothing: sessions built
+    through it behave identically to plain WAN+C sessions."""
+    def plain(testbed, endpoint):
+        return None, []
+
+    def empty_cascade(testbed, endpoint):
+        cascade = build_cascade(testbed, endpoint, [])
+        assert cascade.depth == 1 and cascade.top is None
+        return cascade, cascade.levels
+
+    ref_trace, ref_snaps = _read_sequence(plain)
+    new_trace, new_snaps = _read_sequence(empty_cascade)
+    assert new_trace == ref_trace
+    assert new_snaps == ref_snaps

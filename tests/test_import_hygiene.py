@@ -52,8 +52,11 @@ def _imports(tree, module, top_level_only):
 
 def test_layers_never_import_session_or_proxy():
     """No reference from any layers module to the modules above it —
-    not even inside a function body."""
-    banned = ("repro.core.session", "repro.core.proxy")
+    not even inside a function body.  ``repro.experiments`` sits two
+    floors up (it assembles sessions); a layer reaching into it would
+    invert the whole architecture."""
+    banned = ("repro.core.session", "repro.core.proxy",
+              "repro.experiments")
     offenders = []
     for module, path in sorted(_repro_modules().items()):
         if not module.startswith("repro.core.layers"):
