@@ -28,7 +28,8 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
 def test_perf_smoke_quick():
     """Quick-scale harness run: golden simulated times must hold."""
     from repro.experiments import perf
-    report = perf.run_harness(["cold_clone", "flush_storm"], quick=True)
+    report = perf.run_harness(["cold_clone", "flush_storm", "clone_storm"],
+                              quick=True)
     assert report.golden_ok, "\n".join(report.golden_diffs)
     for name, sample in report.samples.items():
         assert sample.events > 0 and sample.blocks > 0, name

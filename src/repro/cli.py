@@ -276,6 +276,46 @@ def _cmd_cascadebench(args) -> int:
     return 0
 
 
+def _cmd_fleetbench(args) -> int:
+    from repro.experiments import fleetbench
+    try:
+        report = fleetbench.run_fleetbench(
+            quick=args.quick,
+            sessions=args.sessions,
+            sites=args.sites,
+            modes=args.modes.split(",") if args.modes else None,
+            processes=args.processes,
+            telemetry=args.fleet_report)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(fleetbench.format_report(report))
+    if args.fleet_report:
+        for mode, storm in report["storm"].items():
+            for site in storm["per_site"]:
+                text = site.get("fleet_report")
+                if text:
+                    print(f"\n[{mode} storm, site {site['site']}]")
+                    print(text)
+    if args.out:
+        import json
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"[written to {args.out}]")
+    baseline = None
+    if args.baseline:
+        import json
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    failures = fleetbench.check_report(report, baseline=baseline)
+    if failures:
+        print("error: fleet guarantees violated:\n  "
+              + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import assemble_report
     report = assemble_report(args.results_dir)
@@ -412,6 +452,40 @@ def build_parser() -> argparse.ArgumentParser:
                               "(e.g. results/BENCH_pr5.json)")
     _add_stack_report_flag(cascade)
     cascade.set_defaults(func=_cmd_cascadebench)
+
+    fleet = sub.add_parser(
+        "fleetbench",
+        help="fleet-scale clone storm (engine microbench; exact vs "
+             "fluid vs sharded storms; fluid-vs-exact accuracy on the "
+             "fig3-fig6 workloads) and the fleet guarantees: "
+             "microbench throughput floor, fluid drift within "
+             "tolerance, deterministic sharded merging")
+    fleet.add_argument("--sessions", type=int, default=None, metavar="N",
+                       help="total sessions in the storm "
+                            "(default: 1000, or 32 with --quick)")
+    fleet.add_argument("--sites", type=int, default=None, metavar="S",
+                       help="independent sites / topology islands "
+                            "(default: 8, or 4 with --quick)")
+    fleet.add_argument("--modes", default=None, metavar="M1,M2",
+                       help="comma-separated storm modes "
+                            "(default: exact,fluid,sharded)")
+    fleet.add_argument("--processes", type=int, default=None, metavar="P",
+                       help="worker processes for the sharded storm "
+                            "(default: min(sites, cpu count))")
+    fleet.add_argument("--fleet-report", action="store_true",
+                       help="collect per-session cache-layer telemetry "
+                            "via the session manager and print one "
+                            "fleet report per site")
+    fleet.add_argument("--quick", action="store_true",
+                       help="shrunken storm and accuracy sweep "
+                            "(CI smoke scale)")
+    fleet.add_argument("--out", default=None, metavar="FILE",
+                       help="write the report as JSON "
+                            "(e.g. results/BENCH_pr6.json)")
+    fleet.add_argument("--baseline", default=None, metavar="FILE",
+                       help="earlier fleetbench JSON; fail on >20%% "
+                            "microbench throughput regression")
+    fleet.set_defaults(func=_cmd_fleetbench)
 
     info = sub.add_parser("info", help="print calibration constants")
     info.set_defaults(func=_cmd_info)

@@ -33,7 +33,7 @@ from repro.core.consistency import MiddlewareConsistency
 from repro.core.filecache import ProxyFileCache
 from repro.core.proxy import GvfsProxy
 from repro.net.ssh import ScpTransfer, SshTunnel
-from repro.net.topology import Host, Testbed
+from repro.net.topology import Host, NetworkConditions, Testbed, resolve_profile
 from repro.nfs.client import MountOptions, NfsClient
 from repro.nfs.protocol import FileHandle
 from repro.nfs.rpc import LoopbackTransport, RpcCircuitBreaker, RpcClient
@@ -332,12 +332,21 @@ class CascadeLevelSpec:
     default inferred from the upstream host); ``host`` pins the level
     to an existing testbed host (default: the LAN image server for the
     origin-adjacent level, a freshly attached LAN host otherwise).
+
+    ``profile`` calibrates the level's *access link* when the cascade
+    provisions a fresh host for it: a :data:`repro.net.topology
+    .LINK_PROFILES` name (``"rack"``/``"site"``/``"lan"``/``"wan"``)
+    or explicit :class:`NetworkConditions` — so a rack-level cache one
+    gigabit hop away and a site cache across the campus backbone stop
+    sharing the single-switch LAN calibration.  Incompatible with
+    ``host`` (a pinned host keeps the access link it already has).
     """
 
     cache_config: Optional[ProxyCacheConfig] = None
     link: Optional[str] = None
     host: Optional[Host] = None
     name: Optional[str] = None
+    profile: Optional[Union[str, NetworkConditions]] = None
 
 
 class ProxyCascade:
@@ -400,9 +409,19 @@ def build_cascade(testbed: Testbed, endpoint: ServerEndpoint,
         spec = specs[pos]
         level_no = pos + 2          # the client proxy is level 1
         host = spec.host
+        if host is not None and spec.profile is not None:
+            raise ValueError(
+                f"cascade level {spec.name or level_no}: 'profile' only "
+                "applies when the cascade provisions the host; a pinned "
+                "host keeps its existing access link")
         if host is None:
-            host = (testbed.lan_server if above is None
-                    else testbed.add_host(f"{name}-l{level_no}"))
+            conditions = (resolve_profile(spec.profile)
+                          if spec.profile is not None else None)
+            if above is None and conditions is None:
+                host = testbed.lan_server
+            else:
+                host = testbed.add_host(f"{name}-l{level_no}",
+                                        conditions=conditions)
         above = CascadeLevel(testbed, endpoint, host=host,
                              cache_config=spec.cache_config,
                              name=spec.name or f"{name}-l{level_no}",

@@ -1,0 +1,465 @@
+"""Fleet-scale clone-storm benchmark: exact vs fluid vs sharded.
+
+The paper's headline scenario — wide-area VM cloning storms across
+grid sites — only becomes interesting at fleet scale, and BENCH_pr2
+showed the simulator topping out at ~60–110k events/sec.  This module
+measures the three engine attacks that lift that ceiling:
+
+* **engine microbench** — the raw engine on a clone-storm event mix
+  (two zero-delay hops per timed hop, hundreds of concurrent session
+  processes), isolating event-pool and dispatch gains from model cost;
+* **clone storm** — S independent sites, each its own
+  :class:`~repro.net.topology.Testbed` plus
+  :class:`~repro.middleware.sessions.VmSessionManager`, absorbing N
+  staggered user sessions (lease → match → GVFS → clone → resume →
+  flush → release).  Images carry no meta-data, so every block crosses
+  the WAN — the block-wise bulk traffic the fluid link mode targets.
+  Runs in three modes: ``exact`` (the discrete link model, serial),
+  ``fluid`` (:class:`~repro.net.link.LinkMode.FLUID`, serial) and
+  ``sharded`` (exact links, sites partitioned into topology islands
+  via :func:`~repro.sim.shard.partition_islands` and run on worker
+  processes with deterministic merging);
+* **fluid accuracy** — the fig3–fig6 workload families run under both
+  link modes; fluid simulated times must stay within
+  :data:`DRIFT_TOLERANCE` of the exact DES.
+
+``run_fleetbench`` produces the ``results/BENCH_pr6.json`` document;
+``check_report`` turns it into CI gates (microbench throughput floor
+and regression bound, fluid drift, sharded-merge determinism).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "DRIFT_TOLERANCE",
+    "MIN_MICROBENCH_SPEEDUP",
+    "check_report",
+    "format_report",
+    "run_clone_storm",
+    "run_engine_microbench",
+    "run_fleetbench",
+    "run_fluid_accuracy",
+]
+
+#: Fluid-mode simulated times must stay within this fraction of exact.
+DRIFT_TOLERANCE = 0.05
+
+#: The engine microbench must beat BENCH_pr2's clone-storm events/sec
+#: by at least this factor (the PR-6 acceptance floor).
+MIN_MICROBENCH_SPEEDUP = 3.0
+
+#: BENCH_pr2's cold-clone (clone-storm) throughput, used when the
+#: archived ``results/BENCH_pr2.json`` is not readable.
+_PR2_CLONE_STORM_EVENTS_PER_SEC = 59952.0
+
+_RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))), "results")
+
+# Storm geometry.  Full scale is the acceptance workload (1,000
+# sessions); quick scale is the CI smoke.
+FULL_SESSIONS, FULL_SITES = 1000, 8
+QUICK_SESSIONS, QUICK_SITES = 32, 4
+
+#: Per-session golden image: small but fully wire-visible (no
+#: meta-data, so zero blocks are not filtered).
+STORM_MEMORY_MB = 4
+STORM_DISK_GB = 0.01
+STORM_ZERO_FRACTION = 0.5
+#: Arrival stagger between a site's sessions, simulated seconds.
+STORM_STAGGER = 0.25
+#: Compute servers per site (sessions round-robin across them).
+STORM_COMPUTE = 4
+
+MODES = ("exact", "fluid", "sharded")
+
+
+def _pr2_reference_events_per_sec() -> float:
+    """BENCH_pr2's clone-storm (cold_clone) events/sec, from the archive."""
+    path = os.path.join(_RESULTS_DIR, "BENCH_pr2.json")
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        return float(doc["workloads"]["cold_clone"]["events_per_sec"])
+    except (OSError, KeyError, ValueError, TypeError):
+        return _PR2_CLONE_STORM_EVENTS_PER_SEC
+
+
+# --------------------------------------------------------------------------
+# Engine microbench: the clone-storm event mix without the model cost
+# --------------------------------------------------------------------------
+
+def run_engine_microbench(quick: bool = False, repeats: int = 3) -> dict:
+    """Raw engine throughput on a clone-storm-shaped event mix.
+
+    Hundreds of concurrent session processes, each alternating two
+    zero-delay hops (RPC gate releases, cache grants) with one timed
+    hop (wire/disk service) — the immediate/heap ratio the storm
+    produces.  Reports the best of ``repeats`` runs (least scheduler
+    noise); the events count is identical across runs by construction.
+    """
+    from repro.sim import AllOf, Environment
+
+    n_procs, n_hops = (200, 150) if quick else (400, 300)
+
+    def session(env, hops):
+        for i in range(hops):
+            yield env.timeout(0)
+            yield env.timeout(0)
+            yield env.timeout(0.001 * (1 + i % 7))
+
+    def measure() -> dict:
+        env = Environment()
+
+        def driver(env):
+            procs = [env.process(session(env, n_hops))
+                     for _ in range(n_procs)]
+            yield AllOf(env, procs)
+
+        env.process(driver(env))
+        t0 = time.perf_counter()
+        env.run()
+        wall = time.perf_counter() - t0
+        return {"events": env.events_scheduled, "wall_seconds": wall,
+                "events_per_sec": env.events_scheduled / wall if wall else 0.0}
+
+    best = min((measure() for _ in range(max(1, repeats))),
+               key=lambda s: s["wall_seconds"])
+    reference = _pr2_reference_events_per_sec()
+    best["processes_simulated"] = n_procs
+    best["pr2_clone_storm_events_per_sec"] = reference
+    best["speedup_vs_pr2"] = (best["events_per_sec"] / reference
+                              if reference else 0.0)
+    return best
+
+
+# --------------------------------------------------------------------------
+# The clone storm: one site per island, one VmSessionManager per site
+# --------------------------------------------------------------------------
+
+def _site_spec(site: int, sessions: int, link_mode: str,
+               telemetry: bool = False) -> dict:
+    return {"site": site, "sessions": sessions, "link_mode": link_mode,
+            "n_compute": STORM_COMPUTE, "memory_mb": STORM_MEMORY_MB,
+            "disk_gb": STORM_DISK_GB, "zero_fraction": STORM_ZERO_FRACTION,
+            "stagger": STORM_STAGGER, "telemetry": telemetry}
+
+
+def _run_site(spec: dict) -> dict:
+    """Worker: one site's clone storm in its own environment.
+
+    Module-level and dict-in/dict-out so it crosses the
+    ``multiprocessing`` boundary; every simulated object lives and
+    dies inside this call.
+    """
+    from repro.middleware.imageserver import ImageRequirements
+    from repro.middleware.sessions import VmSessionManager
+    from repro.net.link import LinkMode
+    from repro.net.topology import make_paper_testbed
+    from repro.core.session import ServerEndpoint
+    from repro.sim import AllOf
+    from repro.vm.image import VmConfig
+
+    testbed = make_paper_testbed(n_compute=spec["n_compute"],
+                                 link_mode=LinkMode(spec["link_mode"]))
+    env = testbed.env
+    endpoint = ServerEndpoint(env, testbed.wan_server)
+    manager = VmSessionManager(testbed, endpoint=endpoint,
+                               account_pool_size=spec["sessions"])
+    manager.catalog.register(
+        "storm-golden",
+        VmConfig(name="storm-golden", memory_mb=spec["memory_mb"],
+                 disk_gb=spec["disk_gb"], persistent=False, seed=17),
+        zero_fraction=spec["zero_fraction"],
+        # No meta-data: reads stay block-wise, so the storm's traffic
+        # actually crosses the (fluid-capable) wire.
+        generate_metadata=False)
+    requirements = ImageRequirements(min_memory_mb=spec["memory_mb"])
+    clone_seconds: List[float] = []
+
+    def one_user(env, index):
+        yield env.timeout(index * spec["stagger"])
+        session = yield env.process(manager.create_session(
+            f"site{spec['site']}-user{index}", requirements))
+        clone_seconds.append(session.clone.total_seconds)
+        yield env.process(manager.end_session(session))
+
+    def driver(env):
+        users = [env.process(one_user(env, i))
+                 for i in range(spec["sessions"])]
+        yield AllOf(env, users)
+
+    env.process(driver(env))
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    hosts = [*testbed.compute, testbed.lan_server, testbed.wan_server]
+    disk_bytes = sum(h.local.disk.bytes_read + h.local.disk.bytes_written
+                     for h in hosts)
+    out = {"site": spec["site"], "sessions": spec["sessions"],
+           "sim_seconds": env.now, "events": env.events_scheduled,
+           "wall_seconds": wall, "clone_seconds": clone_seconds,
+           "disk_blocks": disk_bytes // 8192}
+    if spec.get("telemetry"):
+        snap = manager.fleet_snapshot(deep=True)
+        out["layer_totals"] = snap["layer_totals"]
+        out["fleet_report"] = manager.format_fleet_report()
+    return out
+
+
+def run_clone_storm(mode: str = "exact", sessions: int = FULL_SESSIONS,
+                    sites: int = FULL_SITES,
+                    processes: Optional[int] = None,
+                    telemetry: bool = False) -> dict:
+    """Run the storm in one mode and aggregate per-site results.
+
+    Sessions are assigned to sites round-robin, then grouped into
+    topology islands with :func:`partition_islands` over the host
+    names each session touches — sessions of one site share that
+    site's image server and collapse into one island; distinct sites
+    share nothing and stay independent.  ``sharded`` runs the islands
+    on a worker-process pool (exact link model, so its merged results
+    are bit-comparable to ``exact``); the other modes run the same
+    specs serially in-process.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown storm mode {mode!r}; choose from {MODES}")
+    if sessions < sites:
+        raise ValueError("need at least one session per site")
+    from repro.sim import partition_islands, run_islands
+
+    site_of = [i % sites for i in range(sessions)]
+    # Resources per session: the site's image server plus the compute
+    # host the round-robin scheduler will land it on.
+    resources = [{f"site{s}:wan-image-server",
+                  f"site{s}:compute{i // sites % STORM_COMPUTE}"}
+                 for i, s in enumerate(site_of)]
+    islands = partition_islands(resources)
+
+    link_mode = "fluid" if mode == "fluid" else "exact"
+    specs = [_site_spec(site_of[group[0]], len(group), link_mode,
+                        telemetry=telemetry)
+             for group in islands]
+    pool_size = 1 if mode != "sharded" else processes
+    t0 = time.perf_counter()
+    site_results = run_islands(_run_site, specs, processes=pool_size)
+    wall = time.perf_counter() - t0
+
+    events = sum(r["events"] for r in site_results)
+    out = {
+        "mode": mode,
+        "sessions": sessions,
+        "sites": len(islands),
+        "processes": (pool_size if pool_size is not None
+                      else min(len(islands), os.cpu_count() or 1)),
+        "wall_seconds": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall else 0.0,
+        "sim_seconds": max(r["sim_seconds"] for r in site_results),
+        "per_site": site_results,
+    }
+    return out
+
+
+# --------------------------------------------------------------------------
+# Fluid accuracy: fig3–fig6 under both link modes
+# --------------------------------------------------------------------------
+
+def _accuracy_testbed(link_mode, clone: bool = False):
+    from repro.net.topology import make_paper_testbed
+    if clone:
+        return make_paper_testbed(n_compute=1, compute_cpu_speed=2.2,
+                                  compute_page_cache_bytes=768 * 1024 * 1024,
+                                  link_mode=link_mode)
+    return make_paper_testbed(link_mode=link_mode)
+
+
+def _accuracy_appbench(factory, link_mode) -> float:
+    from repro.core.session import Scenario
+    from repro.experiments.appbench import run_application_benchmark
+    testbed = _accuracy_testbed(link_mode)
+    run_application_benchmark(Scenario.WAN_CACHED, factory, runs=1,
+                              testbed=testbed)
+    return testbed.env.now
+
+
+def _accuracy_fig3(link_mode, quick):
+    from repro.workloads.specseis import SpecSeis
+    return _accuracy_appbench(SpecSeis, link_mode)
+
+
+def _accuracy_fig4(link_mode, quick):
+    from repro.workloads.latex import LatexBenchmark
+    iterations = 1 if quick else 5
+    return _accuracy_appbench(lambda: LatexBenchmark(iterations=iterations),
+                              link_mode)
+
+
+def _accuracy_fig5(link_mode, quick):
+    from repro.workloads.kernelcompile import KernelCompile
+    return _accuracy_appbench(KernelCompile, link_mode)
+
+
+def _accuracy_fig6(link_mode, quick):
+    from repro.experiments.clonebench import (CloneScenario,
+                                              run_cloning_benchmark)
+    testbed = _accuracy_testbed(link_mode, clone=True)
+    run_cloning_benchmark(CloneScenario.WAN_S1, n_clones=1 if quick else 2,
+                          cold_between=True, testbed=testbed)
+    return testbed.env.now
+
+
+_ACCURACY_WORKLOADS = {
+    "fig3_specseis": _accuracy_fig3,
+    "fig4_latex": _accuracy_fig4,
+    "fig5_kernel": _accuracy_fig5,
+    "fig6_cloning": _accuracy_fig6,
+}
+
+#: fig5 (a full kernel compile, twice) is minutes of wall clock; the
+#: CI smoke covers the other three families.
+_QUICK_ACCURACY = ("fig3_specseis", "fig4_latex", "fig6_cloning")
+
+
+def run_fluid_accuracy(quick: bool = False,
+                       workloads: Optional[List[str]] = None) -> dict:
+    """Golden-check fluid mode against the exact DES per workload.
+
+    Returns per-workload exact/fluid end-of-run simulated times and
+    the relative drift ``|fluid - exact| / exact``.
+    """
+    from repro.net.link import LinkMode
+    names = workloads or list(_QUICK_ACCURACY if quick
+                              else _ACCURACY_WORKLOADS)
+    unknown = [n for n in names if n not in _ACCURACY_WORKLOADS]
+    if unknown:
+        raise ValueError(f"unknown accuracy workload(s) {unknown}; "
+                         f"choose from {sorted(_ACCURACY_WORKLOADS)}")
+    out: Dict[str, dict] = {}
+    for name in names:
+        fn = _ACCURACY_WORKLOADS[name]
+        exact = fn(LinkMode.EXACT, quick)
+        fluid = fn(LinkMode.FLUID, quick)
+        drift = abs(fluid - exact) / exact if exact else 0.0
+        out[name] = {"exact_sim_seconds": exact,
+                     "fluid_sim_seconds": fluid,
+                     "drift": drift,
+                     "within_tolerance": drift <= DRIFT_TOLERANCE}
+    return out
+
+
+# --------------------------------------------------------------------------
+# Driver, gates, formatting
+# --------------------------------------------------------------------------
+
+def run_fleetbench(quick: bool = False,
+                   sessions: Optional[int] = None,
+                   sites: Optional[int] = None,
+                   modes: Optional[List[str]] = None,
+                   processes: Optional[int] = None,
+                   telemetry: bool = False) -> dict:
+    """The full PR-6 benchmark document (``results/BENCH_pr6.json``)."""
+    sessions = sessions or (QUICK_SESSIONS if quick else FULL_SESSIONS)
+    sites = sites or (QUICK_SITES if quick else FULL_SITES)
+    modes = list(modes or MODES)
+    unknown = [m for m in modes if m not in MODES]
+    if unknown:
+        raise ValueError(f"unknown mode(s) {unknown}; choose from {MODES}")
+
+    report: dict = {
+        "bench": "pr6",
+        "quick": quick,
+        "created_unix": time.time(),
+        "tolerance": DRIFT_TOLERANCE,
+        "engine_microbench": run_engine_microbench(quick=quick),
+        "storm": {},
+    }
+    for mode in modes:
+        report["storm"][mode] = run_clone_storm(
+            mode, sessions=sessions, sites=sites, processes=processes,
+            telemetry=telemetry)
+    report["fluid_accuracy"] = run_fluid_accuracy(quick=quick)
+    return report
+
+
+def check_report(report: dict, baseline: Optional[dict] = None,
+                 max_regression: float = 0.2) -> List[str]:
+    """CI gates over a fleetbench report ([] = all good).
+
+    * the engine microbench clears ``MIN_MICROBENCH_SPEEDUP``× the
+      BENCH_pr2 clone-storm throughput;
+    * against ``baseline`` (an earlier report at the same scale), the
+      microbench has not regressed more than ``max_regression``;
+    * every fluid-accuracy workload sits within ``DRIFT_TOLERANCE``;
+    * sharded and exact storms merged to bit-identical per-site
+      simulated results (deterministic merging).
+    """
+    failures: List[str] = []
+    micro = report.get("engine_microbench", {})
+    speedup = micro.get("speedup_vs_pr2", 0.0)
+    if speedup < MIN_MICROBENCH_SPEEDUP:
+        failures.append(
+            f"engine microbench at {micro.get('events_per_sec', 0):,.0f} "
+            f"events/sec is only {speedup:.2f}x BENCH_pr2's clone-storm "
+            f"throughput (floor: {MIN_MICROBENCH_SPEEDUP}x)")
+    if baseline is not None and baseline.get("quick") == report.get("quick"):
+        old = baseline.get("engine_microbench", {}).get("events_per_sec")
+        new = micro.get("events_per_sec")
+        if old and new and new < (1.0 - max_regression) * old:
+            failures.append(
+                f"engine microbench regressed {1.0 - new / old:.0%} vs "
+                f"baseline ({old:,.0f} -> {new:,.0f} events/sec; "
+                f"bound: {max_regression:.0%})")
+    for name, acc in report.get("fluid_accuracy", {}).items():
+        if not acc.get("within_tolerance", False):
+            failures.append(
+                f"{name}: fluid drifted {acc.get('drift', 1.0):.2%} from the "
+                f"exact DES (tolerance {DRIFT_TOLERANCE:.0%}; "
+                f"exact {acc.get('exact_sim_seconds')}, "
+                f"fluid {acc.get('fluid_sim_seconds')})")
+    storm = report.get("storm", {})
+    if "exact" in storm and "sharded" in storm:
+        exact_sites = {r["site"]: r for r in storm["exact"]["per_site"]}
+        for shard in storm["sharded"]["per_site"]:
+            ref = exact_sites.get(shard["site"])
+            if ref is None:
+                failures.append(f"sharded site {shard['site']} missing from "
+                                "the exact storm")
+                continue
+            if (shard["sim_seconds"] != ref["sim_seconds"]
+                    or shard["clone_seconds"] != ref["clone_seconds"]):
+                failures.append(
+                    f"site {shard['site']}: sharded simulated results "
+                    "diverged from the serial exact run (merge must be "
+                    "deterministic)")
+    return failures
+
+
+def format_report(report: dict) -> str:
+    lines: List[str] = []
+    micro = report.get("engine_microbench", {})
+    lines.append(
+        f"engine microbench: {micro.get('events_per_sec', 0):,.0f} events/sec "
+        f"({micro.get('speedup_vs_pr2', 0):.1f}x BENCH_pr2 clone-storm)")
+    storm = report.get("storm", {})
+    if storm:
+        lines.append(f"{'storm mode':<10} {'wall s':>8} {'sim s':>9} "
+                     f"{'events':>10} {'events/s':>10} {'procs':>6}")
+        for mode, r in storm.items():
+            lines.append(f"{mode:<10} {r['wall_seconds']:>8.2f} "
+                         f"{r['sim_seconds']:>9.2f} {r['events']:>10} "
+                         f"{r['events_per_sec']:>10.0f} {r['processes']:>6}")
+    acc = report.get("fluid_accuracy", {})
+    if acc:
+        lines.append(f"{'fluid accuracy':<16} {'exact s':>10} {'fluid s':>10} "
+                     f"{'drift':>8}")
+        for name, a in acc.items():
+            flag = "" if a["within_tolerance"] else "  DRIFT>TOL"
+            lines.append(f"{name:<16} {a['exact_sim_seconds']:>10.2f} "
+                         f"{a['fluid_sim_seconds']:>10.2f} "
+                         f"{a['drift']:>8.2%}{flag}")
+    return "\n".join(lines)

@@ -27,6 +27,11 @@ Workloads
     A small warm-up burst runs first; :meth:`ProxyStats.reset` and
     :meth:`ProxyBlockCache.reset_stats` separate it from the measured
     phase instead of rebuilding the session.
+``clone_storm``
+    One fleetbench site absorbing a staggered burst of full VM
+    sessions (lease, match, GVFS, clone, resume, flush, release)
+    through the session manager — the many-concurrent-processes mix
+    the event pool and batched dispatch target.
 
 Golden timings live in ``benchmarks/golden_timings.json``; regenerate
 them with ``python -m repro.cli perf --update-golden`` only when a
@@ -238,11 +243,24 @@ def _run_flush_storm(quick: bool = False) -> PerfSample:
                       env.events_scheduled, _disk_blocks(testbed))
 
 
+def _run_clone_storm(quick: bool = False) -> PerfSample:
+    from repro.experiments.fleetbench import _run_site, _site_spec
+    sessions = 6 if quick else 24
+    spec = _site_spec(0, sessions, "exact")
+    t0 = time.perf_counter()
+    r = _run_site(spec)
+    wall = time.perf_counter() - t0
+    return PerfSample("clone_storm", wall, r["sim_seconds"],
+                      list(r["clone_seconds"]) + [r["sim_seconds"]],
+                      r["events"], r["disk_blocks"])
+
+
 WORKLOADS: Dict[str, Callable[..., PerfSample]] = {
     "cold_clone": _run_cold_clone,
     "warm_clone": _run_warm_clone,
     "kernel_compile": _run_kernel_compile,
     "flush_storm": _run_flush_storm,
+    "clone_storm": _run_clone_storm,
 }
 
 

@@ -11,7 +11,7 @@ releases the lease.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Optional
 
 from repro.core.consistency import ConsistencySignal, MiddlewareConsistency
 from repro.core.session import GvfsSession, LocalMount, Scenario, ServerEndpoint
@@ -54,7 +54,8 @@ class VmSessionManager:
     def __init__(self, testbed: Testbed,
                  endpoint: Optional[ServerEndpoint] = None,
                  scenario: Scenario = Scenario.WAN_CACHED,
-                 data_endpoint: Optional[ServerEndpoint] = None):
+                 data_endpoint: Optional[ServerEndpoint] = None,
+                 account_pool_size: int = 16):
         self.testbed = testbed
         self.env = testbed.env
         self.scenario = scenario
@@ -62,7 +63,10 @@ class VmSessionManager:
                                                    testbed.wan_server)
         self.data_endpoint = data_endpoint
         self.catalog = ImageCatalog(self.endpoint.export.fs)
-        self.accounts = AccountManager(self.env)
+        # The logical-account pool bounds concurrent sessions; fleet
+        # workloads size it to their expected peak.
+        self.accounts = AccountManager(self.env,
+                                       pool_size=account_pool_size)
         self.consistency = MiddlewareConsistency(self.env)
         self._next_compute = 0
         self._session_seq = 0
@@ -146,3 +150,61 @@ class VmSessionManager:
     @property
     def active_sessions(self) -> int:
         return sum(1 for s in self.sessions if not s.closed)
+
+    # ---------------------------------------------------------------- telemetry
+    def session_telemetry(self, deep: bool = True) -> List[dict]:
+        """Per-session proxy telemetry, one entry per session.
+
+        Surfaces each session's per-layer
+        ``stats_snapshot(deep=deep)`` — with ``deep=True`` the
+        snapshot descends the whole cascade (intermediate cache levels
+        and the server-side forwarding proxy included), so middleware
+        sees exactly where every session's requests were absorbed.
+        Sessions without a client proxy (LAN/WAN uncached) report only
+        their identity fields.
+        """
+        entries = []
+        for index, session in enumerate(self.sessions):
+            entry: dict = {"session": index, "user": session.user,
+                           "compute_index": session.compute_index,
+                           "closed": session.closed}
+            if session.gvfs.client_proxy is not None:
+                entry["layers"] = session.gvfs.client_proxy.stats_snapshot(
+                    deep=deep)
+            if (session.data_session is not None
+                    and session.data_session.client_proxy is not None):
+                entry["data_layers"] = (
+                    session.data_session.client_proxy.stats_snapshot(deep=deep))
+            entries.append(entry)
+        return entries
+
+    def fleet_snapshot(self, deep: bool = True) -> dict:
+        """The manager-level telemetry document: per-session snapshots
+        plus fleet-wide per-layer counter totals (upstream levels
+        excluded from the totals — shared cascade levels would be
+        double-counted per session)."""
+        sessions = self.session_telemetry(deep=deep)
+        totals: Dict[str, Dict[str, int]] = {}
+        for entry in sessions:
+            for role, counters in entry.get("layers", {}).items():
+                if role == "upstream":
+                    continue
+                bucket = totals.setdefault(role, {})
+                for key, value in counters.items():
+                    bucket[key] = bucket.get(key, 0) + value
+        return {"sessions": len(self.sessions),
+                "active_sessions": self.active_sessions,
+                "per_session": sessions,
+                "layer_totals": totals}
+
+    def format_fleet_report(self, deep: bool = True) -> str:
+        """Human-readable fleet telemetry (the CLI's ``--fleet-report``)."""
+        snap = self.fleet_snapshot(deep=deep)
+        lines = [f"fleet: {snap['sessions']} session(s), "
+                 f"{snap['active_sessions']} active"]
+        for role, counters in snap["layer_totals"].items():
+            shown = {k: v for k, v in counters.items() if v}
+            body = ("  ".join(f"{k}={v}" for k, v in shown.items())
+                    if shown else "(idle)")
+            lines.append(f"  {role:<14} {body}")
+        return "\n".join(lines)

@@ -10,16 +10,38 @@ A :class:`Route` is an ordered list of links crossed store-and-forward.
 Both expose ``transmit(nbytes)`` as a process generator::
 
     yield env.process(route.transmit(32 * 1024))
+
+Link modes
+----------
+``LinkMode.EXACT`` (the default) is the discrete model above: every
+message queues on the transmit resource, so the event cost per message
+is a resource grant, a serialization timeout, a release and a
+propagation timeout.  ``LinkMode.FLUID`` is an opt-in fast path for
+fleet-scale runs: the transmitter becomes a scalar ``busy-until``
+clock, and a message costs exactly one engine event.  Completion times
+are identical to EXACT for FIFO traffic (``max(now, busy_until) +
+serialization + latency`` is precisely what the FIFO resource
+computes); drift appears only around faults and interrupts, which is
+why fluid mode is opt-in and golden-checked against the exact DES (see
+``repro.experiments.fleetbench``).
 """
 
 from __future__ import annotations
 
-from typing import Generator, Iterable, List, Tuple
+import enum
+from typing import Generator, Iterable, List, Optional, Tuple
 
 from repro.sim import Environment, FifoResource
 from repro.sim.engine import Event
 
-__all__ = ["Link", "Route", "duplex"]
+__all__ = ["Link", "LinkMode", "Route", "duplex"]
+
+
+class LinkMode(enum.Enum):
+    """Transmit model of a :class:`Link` (see module docstring)."""
+
+    EXACT = "exact"
+    FLUID = "fluid"
 
 #: Fixed per-message framing cost (Ethernet/IP/UDP/RPC headers), bytes.
 HEADER_BYTES = 160
@@ -39,7 +61,7 @@ class Link:
     """
 
     def __init__(self, env: Environment, latency: float, bandwidth: float,
-                 name: str = "link"):
+                 name: str = "link", mode: LinkMode = LinkMode.EXACT):
         if latency < 0:
             raise ValueError(f"negative latency: {latency}")
         if bandwidth <= 0:
@@ -48,7 +70,10 @@ class Link:
         self.latency = float(latency)
         self.bandwidth = float(bandwidth)
         self.name = name
+        self.mode = mode
         self._tx = FifoResource(env, capacity=1, name=f"{name}.tx")
+        # Fluid-mode transmitter state: the instant the wire frees up.
+        self._fluid_busy_until = 0.0
         # Fault state: a failed link either stalls traffic until
         # restore() (the default — models a routing blackout where the
         # retransmit eventually gets through) or drops it outright
@@ -97,10 +122,38 @@ class Link:
             self._repair_gates.append(gate)
             yield gate
 
+    def _transmit_fluid(self, nbytes: int) -> Generator:
+        """Fluid-mode transmit: one engine event per message.
+
+        ``max(now, busy_until) + serialization`` reproduces the FIFO
+        transmitter's grant/serialize/release sequence without the
+        resource bookkeeping; fault handling mirrors the exact path
+        (stall or drop on entry, stall again if the link went down
+        while the message was in flight).
+        """
+        if self.failed:
+            yield from self._blocked()
+        delay = self.serialization_delay(nbytes)
+        now = self.env.now
+        start = self._fluid_busy_until
+        if start < now:
+            start = now
+        done = start + delay
+        self._fluid_busy_until = done
+        self.busy_time += delay
+        yield self.env.timeout(done + self.latency - now)
+        if self.failed:
+            yield from self._blocked()
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+
     def transmit(self, nbytes: int) -> Generator:
         """Process: queue for the transmitter, serialize, propagate."""
         if nbytes < 0:
             raise ValueError(f"negative message size: {nbytes}")
+        if self.mode is LinkMode.FLUID:
+            yield from self._transmit_fluid(nbytes)
+            return
         if self.failed:
             yield from self._blocked()
         req = self._tx.request()
@@ -152,10 +205,63 @@ class Route:
         """Bandwidth of the slowest hop."""
         return min(l.bandwidth for l in self.links)
 
+    @property
+    def mode(self) -> LinkMode:
+        """FLUID when every hop is fluid, EXACT otherwise."""
+        if all(l.mode is LinkMode.FLUID for l in self.links):
+            return LinkMode.FLUID
+        return LinkMode.EXACT
+
     def transmit(self, nbytes: int) -> Generator:
         """Process: carry one message of ``nbytes`` across every hop."""
         for link in self.links:
             yield from link.transmit(nbytes)
+
+    def transmit_bulk(self, nbytes: int, pace: Optional[float] = None,
+                      n_messages: int = 1) -> Generator:
+        """Process: move a bulk stream across the route as one event.
+
+        The fluid counterpart of a *chunked, pipelined* stream (an SCP
+        transfer): each hop serializes the stream concurrently with the
+        others (chunks pipeline across hops), so the stream completes
+        when the busiest hop finishes serializing, plus end-to-end
+        propagation; ``pace`` caps the sender's self-pacing rate (TCP
+        window / cipher) and ``n_messages`` charges the per-chunk
+        framing overhead the chunked path would pay.  Each hop's
+        ``busy_until`` advances by the full serialization time, so
+        concurrent bulk streams share a bottleneck link in arrival
+        order exactly like queued chunks would.
+
+        Falls back to per-hop store-and-forward when any hop is EXACT
+        or down — correctness (fault stalls, contention with discrete
+        traffic) beats the event saving there.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if self.mode is not LinkMode.FLUID or any(l.failed for l in self.links):
+            yield from self.transmit(nbytes)
+            return
+        env = self.env
+        t0 = env.now
+        finish = t0
+        wire_bytes = nbytes + max(n_messages, 1) * HEADER_BYTES
+        for link in self.links:
+            ser = wire_bytes / link.bandwidth
+            start = link._fluid_busy_until
+            if start < t0:
+                start = t0
+            link._fluid_busy_until = start + ser
+            link.busy_time += ser
+            link.bytes_sent += nbytes
+            link.messages_sent += max(n_messages, 1)
+            if start + ser > finish:
+                finish = start + ser
+        finish += self.latency
+        if pace:
+            paced = t0 + nbytes / pace
+            if paced > finish:
+                finish = paced
+        yield env.timeout(finish - t0)
 
     def unloaded_transfer_time(self, nbytes: int) -> float:
         """Analytic no-contention time for one message (for tests)."""
@@ -166,7 +272,8 @@ class Route:
 
 
 def duplex(env: Environment, latency: float, bandwidth: float,
-           name: str = "link") -> Tuple[Link, Link]:
+           name: str = "link",
+           mode: LinkMode = LinkMode.EXACT) -> Tuple[Link, Link]:
     """Build a full-duplex link as an independent (forward, reverse) pair."""
-    return (Link(env, latency, bandwidth, name=f"{name}.fwd"),
-            Link(env, latency, bandwidth, name=f"{name}.rev"))
+    return (Link(env, latency, bandwidth, name=f"{name}.fwd", mode=mode),
+            Link(env, latency, bandwidth, name=f"{name}.rev", mode=mode))

@@ -19,13 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.net.link import Route, duplex
+from repro.net.link import LinkMode, Route, duplex
 from repro.sim import Environment, FifoResource
 from repro.storage.disk import DiskParams, SCSI_2003
 from repro.storage.localfs import LocalFileSystem
 
-__all__ = ["Host", "NetworkConditions", "Testbed", "make_paper_testbed",
-           "LAN_2003", "WAN_2003"]
+__all__ = ["Host", "LINK_PROFILES", "NetworkConditions", "Testbed",
+           "make_paper_testbed", "resolve_profile",
+           "LAN_2003", "RACK_2003", "SITE_2003", "WAN_2003"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,38 @@ LAN_2003 = NetworkConditions(latency=0.1e-3, bandwidth=12.5e6)
 #: backbone segment offers far more raw bandwidth than one 2003 TCP
 #: stream can use (per-stream throughput is window-limited instead).
 WAN_2003 = NetworkConditions(latency=18.8e-3, bandwidth=30e6)
+
+#: Top-of-rack gigabit interconnect (era clusters were moving the
+#: intra-rack hop to 1000BASE-T): one switch hop, negligible delay.
+RACK_2003 = NetworkConditions(latency=0.05e-3, bandwidth=125e6)
+
+#: Campus/site backbone: still 100 Mbit per access port but several
+#: switch/router hops away, so noticeably more one-way delay than the
+#: single-switch LAN segment.
+SITE_2003 = NetworkConditions(latency=0.5e-3, bandwidth=12.5e6)
+
+#: Named per-hop link profiles for cascade levels and added hosts —
+#: a rack-level cache sits one gigabit hop away, a site cache across
+#: the campus backbone, the origin across the WAN.
+LINK_PROFILES: Dict[str, NetworkConditions] = {
+    "lan": LAN_2003,
+    "rack": RACK_2003,
+    "site": SITE_2003,
+    "wan": WAN_2003,
+}
+
+
+def resolve_profile(profile) -> NetworkConditions:
+    """Map a profile name (or pass through conditions) to
+    :class:`NetworkConditions`."""
+    if isinstance(profile, NetworkConditions):
+        return profile
+    try:
+        return LINK_PROFILES[profile]
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown link profile {profile!r}; choose from "
+            f"{sorted(LINK_PROFILES)} or pass NetworkConditions") from None
 
 
 class Host:
@@ -95,12 +128,14 @@ class Testbed:
                  lan: NetworkConditions = LAN_2003,
                  wan: NetworkConditions = WAN_2003,
                  compute_cpu_speed: float = 1.0,
-                 compute_page_cache_bytes: int = 512 * 1024 * 1024):
+                 compute_page_cache_bytes: int = 512 * 1024 * 1024,
+                 link_mode: LinkMode = LinkMode.EXACT):
         if n_compute < 1:
             raise ValueError("need at least one compute server")
         self.env = env
         self.lan_conditions = lan
         self.wan_conditions = wan
+        self.link_mode = link_mode
 
         # Hosts. CPU speeds are relative to the 1.1 GHz PIII compute node.
         self.compute: List[Host] = [
@@ -115,23 +150,30 @@ class Testbed:
         self._access: Dict[str, tuple] = {}
         for host in [*self.compute, self.lan_server, self.wan_server]:
             self._access[host.name] = duplex(
-                env, lan.latency, lan.bandwidth, name=f"{host.name}.eth")
-        self.wan_segment = duplex(env, wan.latency, wan.bandwidth, name="abilene")
+                env, lan.latency, lan.bandwidth, name=f"{host.name}.eth",
+                mode=link_mode)
+        self.wan_segment = duplex(env, wan.latency, wan.bandwidth,
+                                  name="abilene", mode=link_mode)
 
     # -- host construction --------------------------------------------------
     def add_host(self, name: str, cpus: int = 2, cpu_speed: float = 1.6,
-                 page_cache_bytes: int = 512 * 1024 * 1024) -> Host:
-        """Add a LAN-attached host (e.g. an intermediate cascade-cache
+                 page_cache_bytes: int = 512 * 1024 * 1024,
+                 conditions: Optional[NetworkConditions] = None) -> Host:
+        """Add an attached host (e.g. an intermediate cascade-cache
         server) with its own access-link pair, routable to every other
-        host via :meth:`route`.  Defaults mirror the LAN image server.
+        host via :meth:`route`.  Defaults mirror the LAN image server;
+        ``conditions`` picks the access-link calibration (a
+        :data:`LINK_PROFILES` entry such as rack or site conditions)
+        instead of the testbed-wide LAN segment.
         """
         if name in self._access:
             raise ValueError(f"host {name!r} already exists")
+        conditions = conditions or self.lan_conditions
         host = Host(self.env, name, cpus=cpus, cpu_speed=cpu_speed,
                     page_cache_bytes=page_cache_bytes)
         self._access[name] = duplex(
-            self.env, self.lan_conditions.latency,
-            self.lan_conditions.bandwidth, name=f"{name}.eth")
+            self.env, conditions.latency, conditions.bandwidth,
+            name=f"{name}.eth", mode=self.link_mode)
         return host
 
     # -- route construction -------------------------------------------------

@@ -28,6 +28,7 @@ from repro.sim.engine import (
     Timeout,
 )
 from repro.sim.resources import FifoResource, PriorityResource, Store
+from repro.sim.shard import partition_islands, run_islands
 
 __all__ = [
     "AllOf",
@@ -41,4 +42,6 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "partition_islands",
+    "run_islands",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from sys import getrefcount as _getrefcount
 from typing import Any, Generator, Iterable, Optional
 
 __all__ = [
@@ -46,6 +47,11 @@ class Interrupt(Exception):
 
 # Sentinel distinguishing "not yet set" from a legitimate ``None`` value.
 _PENDING = object()
+
+#: Upper bound on the per-environment Timeout free list.  Recycling
+#: only pays while the pool fits comfortably in cache; past this the
+#: allocator is no slower and the memory is better spent elsewhere.
+_TIMEOUT_POOL_MAX = 4096
 
 
 class Event:
@@ -327,6 +333,9 @@ class Environment:
         self._immediate: deque = deque()
         self._seq = 0
         self._active_process: Optional[Process] = None
+        # Free list of fired Timeout objects eligible for reuse (only
+        # ones provably unreferenced by model code; see run()).
+        self._timeout_pool: list = []
 
     @property
     def now(self) -> float:
@@ -349,7 +358,30 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` simulated seconds from now."""
+        """An event firing ``delay`` simulated seconds from now.
+
+        Timeout construction is the hottest allocation in the simulator
+        (one per timed hop of every process), so fired timeouts that no
+        model code still references are recycled through a free list
+        (see the pool check in :meth:`run`) instead of round-tripping
+        the allocator.  Pooling never changes the schedule: a recycled
+        timeout consumes a fresh sequence number exactly like a new one.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay!r}")
+            t = pool.pop()
+            t.callbacks = []
+            t._value = value
+            t._processed = False
+            t.delay = delay
+            if delay == 0.0:
+                self._immediate.append((self._seq, t))
+            else:
+                heapq.heappush(self._queue, (self._now + delay, self._seq, t))
+            self._seq += 1
+            return t
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
@@ -416,26 +448,42 @@ class Environment:
             raise ValueError(f"until={until} is in the past (now={self._now})")
         immediate = self._immediate
         queue = self._queue
+        pool = self._timeout_pool
         pop = heapq.heappop
         while immediate or queue:
             if immediate:
-                event = None
-                if queue:
-                    when, seq, ev = queue[0]
-                    if when <= self._now and seq < immediate[0][0]:
-                        pop(queue)
-                        event = ev
-                if event is None:
+                # No local may keep a reference to the peeked heap
+                # entry across iterations: a stale binding would
+                # inflate the refcount check below and disable pooling.
+                if (queue and queue[0][0] <= self._now
+                        and queue[0][1] < immediate[0][0]):
+                    event = pop(queue)[2]
+                else:
                     event = immediate.popleft()[1]
             else:
                 when = queue[0][0]
                 if until is not None and when > until:
                     self._now = until
                     return
-                when, _, event = pop(queue)
                 self._now = when
-            event._run_callbacks()
-            if (not event._ok and isinstance(event, Process)
+                event = pop(queue)[2]
+            # Inlined Event._run_callbacks: this dispatch runs once per
+            # event processed, so the attribute traffic of a method call
+            # is measurable at fleet scale.
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            for cb in callbacks:
+                cb(event)
+            if type(event) is Timeout:
+                # Recycle the timeout if nothing outside this frame
+                # still references it (refcount 2 = the local + the
+                # getrefcount argument).  A timeout a process kept, or
+                # one held by an AllOf/AnyOf ``events`` list, stays out
+                # of the pool automatically.
+                if len(pool) < _TIMEOUT_POOL_MAX and _getrefcount(event) == 2:
+                    pool.append(event)
+            elif (not event._ok and isinstance(event, Process)
                     and not event._failure_observed):
                 # A failed process nobody was waiting on: a model bug.
                 # Fail loudly instead of silently losing the exception.

@@ -1,0 +1,145 @@
+"""Fleet-scale benchmark: storm modes, accuracy gates, report checks."""
+
+import pytest
+
+from repro.experiments import fleetbench
+
+
+@pytest.fixture(scope="module")
+def tiny_storms():
+    """One tiny storm per mode (6 sessions, 2 sites), shared by tests."""
+    return {mode: fleetbench.run_clone_storm(mode, sessions=6, sites=2,
+                                             processes=2)
+            for mode in fleetbench.MODES}
+
+
+def test_engine_microbench_meets_acceptance_floor():
+    micro = fleetbench.run_engine_microbench(quick=True, repeats=1)
+    assert micro["speedup_vs_pr2"] >= fleetbench.MIN_MICROBENCH_SPEEDUP
+    assert micro["events"] > 0
+
+
+def test_storm_partitions_sessions_into_site_islands(tiny_storms):
+    for mode, storm in tiny_storms.items():
+        assert storm["sites"] == 2
+        assert [r["sessions"] for r in storm["per_site"]] == [3, 3]
+        assert storm["events"] == sum(r["events"] for r in storm["per_site"])
+
+
+def test_sharded_storm_is_bit_identical_to_exact(tiny_storms):
+    exact = tiny_storms["exact"]["per_site"]
+    sharded = tiny_storms["sharded"]["per_site"]
+    for a, b in zip(exact, sharded):
+        assert b["sim_seconds"] == a["sim_seconds"]
+        assert b["clone_seconds"] == a["clone_seconds"]
+        assert b["events"] == a["events"]
+
+
+def test_fluid_storm_matches_exact_with_fewer_events(tiny_storms):
+    exact = tiny_storms["exact"]
+    fluid = tiny_storms["fluid"]
+    assert fluid["sim_seconds"] == pytest.approx(
+        exact["sim_seconds"], rel=fleetbench.DRIFT_TOLERANCE)
+    assert fluid["events"] < exact["events"]
+
+
+def test_storm_sessions_see_real_clone_times(tiny_storms):
+    for r in tiny_storms["exact"]["per_site"]:
+        assert len(r["clone_seconds"]) == r["sessions"]
+        assert all(t > 0 for t in r["clone_seconds"])
+
+
+def test_storm_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        fleetbench.run_clone_storm("warp", sessions=4, sites=2)
+    with pytest.raises(ValueError):
+        fleetbench.run_clone_storm("exact", sessions=1, sites=2)
+
+
+def test_fluid_accuracy_single_workload_within_tolerance():
+    acc = fleetbench.run_fluid_accuracy(quick=True,
+                                        workloads=["fig4_latex"])
+    entry = acc["fig4_latex"]
+    assert entry["within_tolerance"]
+    assert entry["drift"] <= fleetbench.DRIFT_TOLERANCE
+
+
+def test_fluid_accuracy_rejects_unknown_workload():
+    with pytest.raises(ValueError):
+        fleetbench.run_fluid_accuracy(workloads=["fig99"])
+
+
+def test_check_report_passes_clean_report(tiny_storms):
+    report = {
+        "quick": True,
+        "engine_microbench": {"events_per_sec": 1e6, "speedup_vs_pr2": 10.0},
+        "storm": tiny_storms,
+        "fluid_accuracy": {"fig4_latex": {"within_tolerance": True,
+                                          "drift": 0.0}},
+    }
+    assert fleetbench.check_report(report) == []
+
+
+def test_check_report_flags_slow_microbench():
+    report = {"engine_microbench": {"events_per_sec": 1000.0,
+                                    "speedup_vs_pr2": 0.5},
+              "fluid_accuracy": {}, "storm": {}}
+    failures = fleetbench.check_report(report)
+    assert len(failures) == 1 and "microbench" in failures[0]
+
+
+def test_check_report_flags_fluid_drift():
+    report = {"engine_microbench": {"speedup_vs_pr2": 10.0},
+              "fluid_accuracy": {"fig6_cloning": {
+                  "within_tolerance": False, "drift": 0.2,
+                  "exact_sim_seconds": 100.0, "fluid_sim_seconds": 120.0}},
+              "storm": {}}
+    failures = fleetbench.check_report(report)
+    assert len(failures) == 1 and "drifted" in failures[0]
+
+
+def test_check_report_flags_shard_divergence():
+    site = {"site": 0, "sim_seconds": 10.0, "clone_seconds": [1.0]}
+    bad = {"site": 0, "sim_seconds": 10.5, "clone_seconds": [1.0]}
+    report = {"engine_microbench": {"speedup_vs_pr2": 10.0},
+              "fluid_accuracy": {},
+              "storm": {"exact": {"per_site": [site]},
+                        "sharded": {"per_site": [bad]}}}
+    failures = fleetbench.check_report(report)
+    assert len(failures) == 1 and "diverged" in failures[0]
+
+
+def test_check_report_flags_regression_vs_baseline():
+    micro = {"events_per_sec": 500_000.0, "speedup_vs_pr2": 8.0}
+    report = {"quick": True, "engine_microbench": micro,
+              "fluid_accuracy": {}, "storm": {}}
+    baseline = {"quick": True,
+                "engine_microbench": {"events_per_sec": 1_000_000.0}}
+    failures = fleetbench.check_report(report, baseline=baseline)
+    assert len(failures) == 1 and "regressed" in failures[0]
+    # A baseline at a different scale is ignored.
+    baseline["quick"] = False
+    assert fleetbench.check_report(report, baseline=baseline) == []
+
+
+def test_format_report_renders_all_sections(tiny_storms):
+    report = {
+        "engine_microbench": {"events_per_sec": 1e6, "speedup_vs_pr2": 12.0},
+        "storm": tiny_storms,
+        "fluid_accuracy": {"fig4_latex": {
+            "exact_sim_seconds": 48.6, "fluid_sim_seconds": 48.6,
+            "drift": 0.0, "within_tolerance": True}},
+    }
+    text = fleetbench.format_report(report)
+    assert "engine microbench" in text
+    assert "sharded" in text
+    assert "fig4_latex" in text
+
+
+def test_storm_telemetry_rides_along():
+    storm = fleetbench.run_clone_storm("exact", sessions=2, sites=1,
+                                       telemetry=True)
+    site = storm["per_site"][0]
+    assert "layer_totals" in site
+    assert "front" in site["layer_totals"]
+    assert "fleet:" in site["fleet_report"]

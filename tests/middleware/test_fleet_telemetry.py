@@ -1,0 +1,101 @@
+"""Session-manager fleet telemetry: per-session layer snapshots and
+fleet-wide totals surfaced through VmSessionManager."""
+
+import pytest
+
+from repro.core.session import ServerEndpoint
+from repro.middleware.imageserver import ImageRequirements
+from repro.middleware.sessions import VmSessionManager
+from repro.net.topology import make_paper_testbed
+from repro.vm.image import VmConfig
+
+
+@pytest.fixture
+def fleet():
+    testbed = make_paper_testbed(n_compute=2)
+    env = testbed.env
+    endpoint = ServerEndpoint(env, testbed.wan_server)
+    manager = VmSessionManager(testbed, endpoint=endpoint)
+    manager.catalog.register(
+        "tiny", VmConfig(name="tiny", memory_mb=4, disk_gb=0.01,
+                         persistent=False, seed=5),
+        zero_fraction=0.5, generate_metadata=False)
+    sessions = []
+
+    def driver(env):
+        for user in ("alice", "bob"):
+            s = yield env.process(manager.create_session(
+                user, ImageRequirements()))
+            sessions.append(s)
+        yield env.process(manager.end_session(sessions[0]))
+
+    env.process(driver(env))
+    env.run()
+    return manager, sessions
+
+
+def test_session_telemetry_one_entry_per_session(fleet):
+    manager, sessions = fleet
+    entries = manager.session_telemetry()
+    assert len(entries) == 2
+    assert [e["user"] for e in entries] == ["alice", "bob"]
+    assert entries[0]["closed"] is True
+    assert entries[1]["closed"] is False
+    for entry in entries:
+        layers = entry["layers"]
+        assert "front" in layers
+        # deep=True descends into the shared upstream forwarding proxy.
+        assert "upstream" in layers
+        assert layers["front"].get("requests", 0) > 0
+
+
+def test_session_telemetry_shallow_omits_upstream(fleet):
+    manager, _ = fleet
+    entries = manager.session_telemetry(deep=False)
+    assert all("upstream" not in e["layers"] for e in entries)
+
+
+def test_fleet_snapshot_totals_sum_sessions(fleet):
+    manager, _ = fleet
+    snap = manager.fleet_snapshot()
+    assert snap["sessions"] == 2
+    assert snap["active_sessions"] == 1
+    assert len(snap["per_session"]) == 2
+    totals = snap["layer_totals"]
+    assert "upstream" not in totals      # shared levels not double-counted
+    per_session_front = [e["layers"]["front"].get("requests", 0)
+                         for e in snap["per_session"]]
+    assert totals["front"]["requests"] == sum(per_session_front) > 0
+
+
+def test_format_fleet_report_mentions_layers(fleet):
+    manager, _ = fleet
+    text = manager.format_fleet_report()
+    assert "fleet: 2 session(s), 1 active" in text
+    assert "front" in text
+    assert "block-cache" in text
+
+
+def test_account_pool_size_bounds_concurrency():
+    testbed = make_paper_testbed()
+    env = testbed.env
+    manager = VmSessionManager(
+        testbed, endpoint=ServerEndpoint(env, testbed.wan_server),
+        account_pool_size=1)
+    manager.catalog.register(
+        "tiny", VmConfig(name="tiny", memory_mb=4, disk_gb=0.01,
+                         persistent=False, seed=5),
+        zero_fraction=0.5, generate_metadata=False)
+    failures = []
+
+    def driver(env):
+        yield env.process(manager.create_session("u0", ImageRequirements()))
+        try:
+            yield env.process(manager.create_session(
+                "u1", ImageRequirements()))
+        except RuntimeError as exc:
+            failures.append(str(exc))
+
+    env.process(driver(env))
+    env.run()
+    assert failures == ["logical account pool exhausted"]

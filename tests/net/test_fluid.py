@@ -1,0 +1,201 @@
+"""Fluid-flow link mode: FIFO equivalence, bulk transfers, fallbacks."""
+
+import pytest
+
+from repro.net.link import HEADER_BYTES, Link, LinkMode, Route, duplex
+from repro.sim import Environment
+
+
+def _send(env, carrier, nbytes, times, **kw):
+    def proc(env):
+        if kw:
+            yield from carrier.transmit_bulk(nbytes, **kw)
+        else:
+            yield env.process(carrier.transmit(nbytes))
+        times.append(env.now)
+    return env.process(proc(env))
+
+
+def _run_traffic(mode, sends):
+    """Run a message pattern on a 2-hop route; return completion times.
+
+    ``sends`` is a list of ``(start_delay, nbytes)`` pairs.
+    """
+    env = Environment()
+    a = Link(env, latency=0.010, bandwidth=1e6, name="a", mode=mode)
+    b = Link(env, latency=0.002, bandwidth=4e6, name="b", mode=mode)
+    route = Route([a, b])
+    times = []
+
+    def sender(env, delay, nbytes):
+        yield env.timeout(delay)
+        yield env.process(route.transmit(nbytes))
+        times.append(env.now)
+
+    for delay, nbytes in sends:
+        env.process(sender(env, delay, nbytes))
+    env.run()
+    return times, env.events_scheduled
+
+
+TRAFFIC = [(0.0, 8192), (0.0, 8192), (0.001, 32768), (0.5, 100),
+           (0.5, 8192), (0.5001, 500)]
+
+
+def test_fluid_matches_exact_for_fifo_traffic():
+    exact_times, exact_events = _run_traffic(LinkMode.EXACT, TRAFFIC)
+    fluid_times, fluid_events = _run_traffic(LinkMode.FLUID, TRAFFIC)
+    assert fluid_times == exact_times          # bit-identical, not approx
+    assert fluid_events < exact_events         # and strictly cheaper
+
+
+def test_fluid_single_message_time():
+    env = Environment()
+    link = Link(env, latency=0.010, bandwidth=1e6, mode=LinkMode.FLUID)
+    times = []
+    _send(env, link, 10_000, times)
+    env.run()
+    assert times == [pytest.approx(0.010 + (10_000 + HEADER_BYTES) / 1e6)]
+
+
+def test_fluid_messages_queue_in_arrival_order():
+    env = Environment()
+    link = Link(env, latency=0.0, bandwidth=1e3, mode=LinkMode.FLUID)
+    times = []
+    _send(env, link, 1000 - HEADER_BYTES, times)
+    _send(env, link, 1000 - HEADER_BYTES, times)
+    env.run()
+    assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_fluid_link_statistics_match_exact_semantics():
+    env = Environment()
+    link = Link(env, latency=0.001, bandwidth=1e6, mode=LinkMode.FLUID)
+    _send(env, link, 5000, [])
+    env.run()
+    assert link.bytes_sent == 5000
+    assert link.messages_sent == 1
+    assert link.busy_time == pytest.approx((5000 + HEADER_BYTES) / 1e6)
+
+
+def test_route_mode_requires_every_hop_fluid():
+    env = Environment()
+    f = Link(env, latency=0, bandwidth=1e6, mode=LinkMode.FLUID)
+    e = Link(env, latency=0, bandwidth=1e6)
+    assert Route([f, f]).mode is LinkMode.FLUID
+    assert Route([f, e]).mode is LinkMode.EXACT
+
+
+def test_duplex_propagates_mode():
+    env = Environment()
+    fwd, rev = duplex(env, latency=0, bandwidth=1e6, mode=LinkMode.FLUID)
+    assert fwd.mode is LinkMode.FLUID and rev.mode is LinkMode.FLUID
+
+
+# ------------------------------------------------------------ transmit_bulk
+
+def test_bulk_pipelines_across_hops():
+    env = Environment()
+    a = Link(env, latency=0.5, bandwidth=1e6, name="a", mode=LinkMode.FLUID)
+    b = Link(env, latency=0.5, bandwidth=2e6, name="b", mode=LinkMode.FLUID)
+    route = Route([a, b])
+    times = []
+    _send(env, route, 10_000_000, times, n_messages=1)
+    env.run()
+    # Chunks pipeline: total = slowest hop's serialization + both
+    # latencies, NOT the sum of per-hop serializations.
+    wire = 10_000_000 + HEADER_BYTES
+    assert times == [pytest.approx(wire / 1e6 + 1.0)]
+
+
+def test_bulk_pace_caps_throughput():
+    env = Environment()
+    link = Link(env, latency=0.0, bandwidth=100e6, mode=LinkMode.FLUID)
+    route = Route([link])
+    times = []
+    _send(env, route, 10_000_000, times, pace=1e6)
+    env.run()
+    # The sender's pace (1 MB/s), not the 100 MB/s wire, dominates.
+    assert times == [pytest.approx(10.0)]
+
+
+def test_bulk_charges_per_chunk_headers():
+    env = Environment()
+    link = Link(env, latency=0.0, bandwidth=1e6, mode=LinkMode.FLUID)
+    route = Route([link])
+    times = []
+    _send(env, route, 1_000_000, times, n_messages=100)
+    env.run()
+    assert times == [pytest.approx((1_000_000 + 100 * HEADER_BYTES) / 1e6)]
+    assert link.messages_sent == 100
+    assert link.bytes_sent == 1_000_000
+
+
+def test_bulk_streams_share_bottleneck_in_arrival_order():
+    env = Environment()
+    link = Link(env, latency=0.0, bandwidth=1e6, mode=LinkMode.FLUID)
+    route = Route([link])
+    times = []
+    _send(env, route, 1_000_000 - HEADER_BYTES, times)
+    _send(env, route, 1_000_000 - HEADER_BYTES, times)
+    env.run()
+    assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+
+
+def test_bulk_falls_back_to_exact_on_mixed_route():
+    env = Environment()
+    f = Link(env, latency=0.0, bandwidth=1e6, mode=LinkMode.FLUID)
+    e = Link(env, latency=0.0, bandwidth=1e6)
+    route = Route([f, e])
+    times = []
+    _send(env, route, 10_000, times, n_messages=4)
+    env.run()
+    # Store-and-forward across both hops, single message semantics.
+    assert times == [pytest.approx(2 * (10_000 + HEADER_BYTES) / 1e6)]
+
+
+def test_bulk_falls_back_when_a_hop_is_down():
+    env = Environment()
+    link = Link(env, latency=0.0, bandwidth=1e6, mode=LinkMode.FLUID)
+    route = Route([link])
+    link.fail()
+    times = []
+    _send(env, route, 10_000, times)
+
+    def repair(env):
+        yield env.timeout(3.0)
+        link.restore()
+
+    env.process(repair(env))
+    env.run()
+    # The transfer stalls until restore, then completes on the wire.
+    assert times == [pytest.approx(3.0 + (10_000 + HEADER_BYTES) / 1e6)]
+
+
+def test_fluid_transmit_stalls_on_failed_link():
+    env = Environment()
+    link = Link(env, latency=0.0, bandwidth=1e6, mode=LinkMode.FLUID)
+    link.fail()
+    times = []
+    _send(env, link, 1000, times)
+
+    def repair(env):
+        yield env.timeout(2.0)
+        link.restore()
+
+    env.process(repair(env))
+    env.run()
+    assert times == [pytest.approx(2.0 + (1000 + HEADER_BYTES) / 1e6)]
+
+
+def test_bulk_rejects_negative_size():
+    env = Environment()
+    link = Link(env, latency=0.0, bandwidth=1e6, mode=LinkMode.FLUID)
+    route = Route([link])
+
+    def proc(env):
+        yield from route.transmit_bulk(-5)
+
+    env.process(proc(env))
+    with pytest.raises(ValueError):
+        env.run()

@@ -166,6 +166,107 @@ def test_run_is_idempotent_after_drain():
     assert env.now == 2
 
 
+def test_run_until_between_immediate_and_heap_event():
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        yield env.timeout(0)          # immediate queue
+        fired.append(("immediate", env.now))
+        yield env.timeout(5)          # heap
+        fired.append(("heap", env.now))
+
+    env.process(proc(env))
+    env.run(until=2)
+    # The zero-delay hop fires (it is due at t=0 <= 2); the timed hop
+    # stays scheduled and the clock parks exactly at the horizon.
+    assert fired == [("immediate", 0)]
+    assert env.now == 2
+    env.run()
+    assert fired == [("immediate", 0), ("heap", 5)]
+
+
+def test_run_until_exactly_at_heap_event_fires_it():
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        yield env.timeout(3)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=3)
+    assert fired == [3]
+    assert env.now == 3
+
+
+def test_peek_with_nonempty_immediate_queue():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(0)
+        yield env.timeout(7)
+
+    env.process(proc(env))
+    # The bootstrap event sits in the immediate queue: next event is now.
+    assert env.peek() == 0
+    env.step()                        # bootstrap -> schedules timeout(0)
+    assert env.peek() == 0            # immediate timeout still due now
+    env.step()                        # fire it -> only the heap event left
+    assert env.peek() == 7
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_interrupt_while_waiting_on_all_of():
+    env = Environment()
+    log = []
+
+    def waiter(env):
+        try:
+            yield AllOf(env, [env.timeout(10, "a"), env.timeout(20, "b")])
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause, env.now))
+            yield env.timeout(1)
+            log.append(("recovered", env.now))
+
+    victim = env.process(waiter(env))
+
+    def actor(env):
+        yield env.timeout(5)
+        victim.interrupt("fleet rebalance")
+
+    env.process(actor(env))
+    env.run()
+    # The interrupt lands mid-wait; the abandoned condition still fires
+    # later without resuming the process a second time.
+    assert log == [("interrupted", "fleet rebalance", 5), ("recovered", 6)]
+    assert env.now == 20
+
+
+def test_interrupt_while_waiting_on_any_of():
+    env = Environment()
+    log = []
+
+    def waiter(env):
+        try:
+            yield AnyOf(env, [env.timeout(10, "slow"), env.timeout(30)])
+        except Interrupt:
+            log.append(("interrupted", env.now))
+            return "aborted"
+
+    victim = env.process(waiter(env))
+
+    def actor(env):
+        yield env.timeout(2)
+        victim.interrupt()
+
+    env.process(actor(env))
+    env.run()
+    assert log == [("interrupted", 2)]
+    assert victim.value == "aborted"
+
+
 def test_clock_never_goes_backward():
     env = Environment()
     stamps = []

@@ -1,0 +1,80 @@
+"""Topology-island sharding: partitioning and deterministic merging."""
+
+from repro.sim import Environment, partition_islands, run_islands
+
+
+# ------------------------------------------------------------- partitioning
+
+def test_disjoint_resources_stay_separate():
+    islands = partition_islands([{"a"}, {"b"}, {"c"}])
+    assert islands == [[0], [1], [2]]
+
+
+def test_shared_resource_merges_members():
+    islands = partition_islands([{"link1"}, {"link2"}, {"link1", "link3"}])
+    assert islands == [[0, 2], [1]]
+
+
+def test_transitive_overlap_merges():
+    # 0-1 share a, 1-2 share b => one island, even though 0 and 2
+    # share nothing directly.
+    islands = partition_islands([{"a"}, {"a", "b"}, {"b"}, {"c"}])
+    assert islands == [[0, 1, 2], [3]]
+
+
+def test_empty_resource_set_forms_own_island():
+    islands = partition_islands([set(), {"x"}, set(), {"x"}])
+    assert islands == [[0], [1, 3], [2]]
+
+
+def test_groups_ordered_by_smallest_member():
+    islands = partition_islands([{"z"}, {"y"}, {"z"}, {"y"}])
+    assert islands == [[0, 2], [1, 3]]
+
+
+def test_partition_is_insensitive_to_resource_iteration_order():
+    a = partition_islands([{"r1", "r2"}, {"r2", "r3"}, {"r9"}])
+    b = partition_islands([{"r2", "r1"}, {"r3", "r2"}, {"r9"}])
+    assert a == b == [[0, 1], [2]]
+
+
+# -------------------------------------------------------------- run_islands
+
+def _simulate_island(spec):
+    """Module-level worker (picklable): run a tiny simulation."""
+    env = Environment()
+    ticks = []
+
+    def proc(env):
+        for i in range(spec["n"]):
+            yield env.timeout(spec["delay"])
+            ticks.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    return {"island": spec["island"], "sim_seconds": env.now, "ticks": ticks}
+
+
+def _specs():
+    return [{"island": i, "n": 3 + i, "delay": 0.5 * (i + 1)}
+            for i in range(4)]
+
+
+def test_run_islands_serial_matches_direct_calls():
+    expected = [_simulate_island(s) for s in _specs()]
+    assert run_islands(_simulate_island, _specs(), processes=1) == expected
+
+
+def test_run_islands_parallel_merges_deterministically():
+    serial = run_islands(_simulate_island, _specs(), processes=1)
+    parallel = run_islands(_simulate_island, _specs(), processes=2)
+    assert parallel == serial            # merge order == args order
+
+
+def test_run_islands_empty():
+    assert run_islands(_simulate_island, [], processes=4) == []
+
+
+def test_run_islands_single_item_runs_in_process():
+    out = run_islands(_simulate_island, [_specs()[0]], processes=8)
+    assert out == [_simulate_island(_specs()[0])]
