@@ -230,7 +230,8 @@ def _cmd_faultbench(args) -> int:
     names = args.scenario.split(",") if args.scenario else None
     try:
         report = faultbench.run_faultbench(scenarios=names, quick=args.quick,
-                                           seed=args.seed)
+                                           seed=args.seed,
+                                           link_mode=args.link_mode)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -244,6 +245,34 @@ def _cmd_faultbench(args) -> int:
     failures = faultbench.check_report(report)
     if failures:
         print("error: recovery guarantees violated:\n  "
+              + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_coopbench(args) -> int:
+    from repro.experiments import coopbench
+    try:
+        report = coopbench.run_coopbench(
+            modes=args.modes.split(",") if args.modes else None,
+            depths=[int(d) for d in args.depths.split(",")]
+            if args.depths else None,
+            peers=[int(p) for p in args.peers.split(",")]
+            if args.peers else None,
+            quick=args.quick)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(coopbench.format_report(report))
+    if args.out:
+        import json
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"[written to {args.out}]")
+    failures = coopbench.check_report(report)
+    if failures:
+        print("error: cooperative-caching guarantees violated:\n  "
               + "\n  ".join(failures), file=sys.stderr)
         return 1
     return 0
@@ -423,6 +452,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-plan seed (same seed => same timeline)")
     fault.add_argument("--quick", action="store_true",
                        help="shrunken workloads (CI smoke scale)")
+    fault.add_argument("--link-mode", default="exact",
+                       choices=["exact", "fluid"],
+                       help="link transmit model; fluid links fall back "
+                            "to the exact path on their first outage, so "
+                            "fault injection composes with the fast path")
     fault.add_argument("--out", default=None, metavar="FILE",
                        help="write the metrics as JSON "
                             "(e.g. results/BENCH_pr3.json)")
@@ -452,6 +486,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "(e.g. results/BENCH_pr5.json)")
     _add_stack_report_flag(cascade)
     cascade.set_defaults(func=_cmd_cascadebench)
+
+    coop = sub.add_parser(
+        "coopbench",
+        help="sweep proxy organization (inclusive / exclusive-demotion "
+             "/ cooperative peer caching) x cascade depth x peer count "
+             "over a clone-storm + golden-rollout workload, plus the "
+             "adaptive level-sizing probe; checks the PR-7 guarantees")
+    coop.add_argument("--modes", default=None, metavar="M1,M2",
+                      help="subset of modes "
+                           "(inclusive,exclusive,cooperative)")
+    coop.add_argument("--depths", default=None, metavar="D1,D2",
+                      help="cascade depths to sweep (default 1,2,3)")
+    coop.add_argument("--peers", default=None, metavar="N1,N2",
+                      help="peer counts to sweep (default 1,2,4)")
+    coop.add_argument("--quick", action="store_true",
+                      help="CI-scale images and storms")
+    coop.add_argument("--out", default=None, metavar="FILE",
+                      help="write the sweep as JSON "
+                           "(e.g. results/BENCH_pr7.json)")
+    _add_stack_report_flag(coop)
+    coop.set_defaults(func=_cmd_coopbench)
 
     fleet = sub.add_parser(
         "fleetbench",

@@ -1,0 +1,215 @@
+"""Adaptive cascade level sizing driven by deep stats snapshots.
+
+BENCH_pr5 showed that stacking cache levels is not monotonically good:
+a depth-4 cascade *regressed* against depth 3 because the extra level
+added a store-and-forward hop without absorbing any misses.  This
+module closes that loop: :func:`plan_cascade_sizing` reads a
+``stats_snapshot(deep=True)`` from a session's client proxy, estimates
+each level's working set from occupancy + churn counters, and proposes
+per-level actions — keep, shrink, grow, or bypass — and
+:func:`apply_cascade_sizing` enacts them on the live stack (bypass
+flips the layer's pass-through flag; resizes swap in a fresh
+right-sized cache via ``BlockCacheLayer.replace_cache``).
+
+The planner is a pure function of the snapshot: it can run offline on
+archived bench output, in tests on hand-built dicts, or periodically
+inside an experiment between workload phases.  The split mirrors the
+paper's middleware position (§3.2.2): the grid middleware accumulates
+knowledge from observed behavior and reconfigures the proxies, rather
+than the proxies hard-coding a geometry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.blockcache import ProxyBlockCache
+from repro.core.config import ProxyCacheConfig
+
+__all__ = ["LevelSizing", "plan_cascade_sizing", "apply_cascade_sizing",
+           "resized_config", "format_sizing_report"]
+
+
+@dataclass(frozen=True)
+class LevelSizing:
+    """One level's sizing verdict (level 1 = the client proxy)."""
+
+    level: int
+    name: str
+    action: str                 # "keep" | "bypass" | "shrink" | "grow"
+    current_frames: int
+    target_frames: int
+    hit_ratio: float
+    working_set: int            # distinct-block estimate, in frames
+    reason: str
+
+    @property
+    def is_resize(self) -> bool:
+        return self.action in ("shrink", "grow")
+
+
+def _iter_cache_levels(snapshot: Dict) -> List[Tuple[int, str, Dict]]:
+    """(level, name, block-cache counters) per caching level, client
+    first.  Walks the nested ``"upstream"`` chain of a deep snapshot;
+    cacheless stacks (the server-side forwarding proxy) are skipped but
+    still terminate the walk."""
+    levels = []
+    node: Optional[Dict] = snapshot
+    name = "client"
+    depth = 0
+    while node is not None:
+        counters = node.get("block-cache")
+        if counters is not None:
+            depth += 1
+            levels.append((depth, name, counters))
+        up = node.get("upstream")
+        node = up.get("layers") if up else None
+        name = up.get("name", f"level{depth + 1}") if up else name
+    return levels
+
+
+def plan_cascade_sizing(snapshot: Dict, *,
+                        min_traffic: int = 64,
+                        min_hit_ratio: float = 0.02,
+                        shrink_slack: float = 0.5,
+                        headroom: float = 1.25,
+                        max_frames: Optional[int] = None
+                        ) -> List[LevelSizing]:
+    """Propose per-level sizing actions from one deep snapshot.
+
+    Per caching level the planner computes the demand it actually saw
+    (hits + misses, ignoring demotion traffic) and a working-set
+    estimate: resident blocks plus evictions, i.e. every distinct frame
+    the level ever held.  The estimate overcounts re-admitted blocks,
+    which is the safe direction — it never proposes a cache smaller
+    than the true working set.  Verdicts:
+
+    * fewer than ``min_traffic`` requests: **keep** (no signal yet);
+    * hit ratio below ``min_hit_ratio`` on a non-client level:
+      **bypass** — the level charges a store-and-forward hop on every
+      miss and absorbs nothing (the BENCH_pr5 depth-4 failure mode).
+      The client level is never bypassed: it is the only cache on the
+      compute host, and its hit ratio is the paper's headline metric;
+    * working set under ``shrink_slack`` of capacity: **shrink** to
+      ``working_set * headroom`` frames;
+    * evictions exceeding resident blocks (thrash): **grow** to
+      ``working_set * headroom`` frames, capped at ``max_frames``;
+    * otherwise **keep**.
+    """
+    plans: List[LevelSizing] = []
+    for level, name, c in _iter_cache_levels(snapshot):
+        hits = c.get("block_cache_hits", 0)
+        misses = c.get("block_cache_misses", 0)
+        seen = hits + misses
+        capacity = c.get("capacity_frames", 0)
+        evictions = c.get("cache_evictions", 0)
+        resident = c.get("cached_blocks", 0)
+        working_set = resident + evictions
+        ratio = hits / seen if seen else 0.0
+        target = capacity
+        if c.get("bypassed"):
+            action, reason = "keep", "already bypassed"
+        elif seen < min_traffic:
+            action = "keep"
+            reason = f"only {seen} requests (< {min_traffic}); no signal"
+        elif level > 1 and ratio < min_hit_ratio:
+            action = "bypass"
+            reason = (f"hit ratio {ratio:.1%} < {min_hit_ratio:.1%}: "
+                      "charges a hop, absorbs nothing")
+        elif working_set and working_set < capacity * shrink_slack:
+            action = "shrink"
+            target = int(working_set * headroom)
+            reason = (f"working set ~{working_set} of {capacity} frames; "
+                      f"release the slack")
+        elif evictions > max(resident, 1):
+            action = "grow"
+            target = int(working_set * headroom)
+            if max_frames is not None:
+                target = min(target, max_frames)
+            if target <= capacity:
+                action, target = "keep", capacity
+                reason = "thrashing but already at max_frames"
+            else:
+                reason = (f"{evictions} evictions over {resident} resident "
+                          "frames: thrashing")
+        else:
+            action, reason = "keep", "paying its way"
+        plans.append(LevelSizing(level=level, name=name, action=action,
+                                 current_frames=capacity,
+                                 target_frames=target, hit_ratio=ratio,
+                                 working_set=working_set, reason=reason))
+    return plans
+
+
+def resized_config(config: ProxyCacheConfig,
+                   target_frames: int) -> ProxyCacheConfig:
+    """``config`` rebuilt for about ``target_frames`` frames, keeping
+    the bank count, associativity and block size (so demotion and
+    shared-frame invariants survive a resize).  Frames round up to a
+    whole number of sets across every bank — the smallest geometry the
+    config validator accepts."""
+    granule = config.n_banks * config.associativity
+    frames = max(((target_frames + granule - 1) // granule) * granule,
+                 granule)
+    return dataclasses.replace(config,
+                               capacity_bytes=frames * config.block_size)
+
+
+def apply_cascade_sizing(stack, plans: List[LevelSizing]
+                         ) -> List[Tuple[LevelSizing, bool]]:
+    """Enact ``plans`` on the live cascade headed by ``stack`` (a
+    client proxy / ProxyStack).  Returns ``(plan, applied)`` pairs;
+    a resize is skipped (``applied=False``) when the level still holds
+    dirty frames — flush first — or the level no longer exists.
+
+    Bypassing only flips the layer flag: the cache keeps its contents,
+    so flipping back (``layer.bypassed = False``) restores it warm.
+    Resizing swaps in a fresh empty cache of the new geometry; the old
+    cache's blocks are retracted from any peer directory by
+    ``replace_cache``, and the level refills from demand.
+    """
+    stacks = stack.cascade_stacks()
+    by_level: Dict[int, object] = {}
+    depth = 0
+    for s in stacks:
+        layer = s.layer("block-cache")
+        if layer is not None:
+            depth += 1
+            by_level[depth] = layer
+    results: List[Tuple[LevelSizing, bool]] = []
+    for plan in plans:
+        layer = by_level.get(plan.level)
+        if layer is None or plan.action == "keep":
+            results.append((plan, False))
+            continue
+        if plan.action == "bypass":
+            layer.bypassed = True
+            results.append((plan, True))
+            continue
+        old = layer.block_cache
+        if old.dirty_frames:
+            results.append((plan, False))
+            continue
+        new_config = resized_config(old.config, plan.target_frames)
+        if new_config.total_frames == old.config.total_frames:
+            results.append((plan, False))
+            continue
+        new_cache = ProxyBlockCache(old.env, old.storage, new_config,
+                                    name=f"{old.name}+r{plan.level}",
+                                    read_only=old.read_only)
+        layer.replace_cache(new_cache)
+        results.append((plan, True))
+    return results
+
+
+def format_sizing_report(plans: List[LevelSizing]) -> str:
+    """Human-readable sizing table (for CLI output and docs)."""
+    lines = ["adaptive cascade sizing"]
+    for p in plans:
+        lines.append(
+            f"  L{p.level} {p.name:<18} {p.action:<6} "
+            f"{p.current_frames:>6} -> {p.target_frames:>6} frames  "
+            f"hit {p.hit_ratio:6.1%}  ws ~{p.working_set}  ({p.reason})")
+    return "\n".join(lines)

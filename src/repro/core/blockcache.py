@@ -134,12 +134,24 @@ class ProxyBlockCache:
                 self._journal_offset = self._journal_inode.data.size
             else:
                 self._journal_inode = storage.fs.create(path)
+        # Cooperative-caching hooks (both default off, so the hot path
+        # of a non-cooperative proxy is untouched).  ``observers`` get
+        # told when a clean block becomes shareable or stops being so
+        # (see PeerCacheDirectory in repro.net.topology, duck-typed:
+        # block_published / block_retracted / cache_cleared).  With
+        # ``capture_clean_victims`` set, eviction reads *clean* victims
+        # back and hands them to the caller like dirty ones, so a
+        # cascade level can demote them upstream instead of dropping
+        # them (exclusive caching).
+        self.observers: List = []
+        self.capture_clean_victims = False
         # Statistics
         self.hits = 0
         self.misses = 0
         self.insertions = 0
         self.evictions = 0
         self.writebacks = 0
+        self.peer_reads = 0
         self.journal_appends = 0
         self.recovered_blocks = 0
         #: Current number of dirty frames (kept incrementally so the
@@ -222,7 +234,9 @@ class ProxyBlockCache:
         (and is charged for) the actual bank-file write, so a run of
         placements can merge physically adjacent frames into one I/O.
         Evicting a dirty frame reads the old bytes back (charged here)
-        and hands them out as ``victim``.
+        and hands them out as ``victim``; with
+        ``capture_clean_victims`` set, clean victims are read back and
+        handed out the same way (``victim.dirty`` tells them apart).
         """
         if self.read_only and dirty:
             raise PermissionError(f"{self.name}: dirty insert into shared "
@@ -250,17 +264,23 @@ class ProxyBlockCache:
             if frame_index is None:
                 frame_index = self.policy.victim(bank, base, a)
                 self.evictions += 1
-                if bank.dirty[frame_index]:
+                old_dirty = bank.dirty[frame_index]
+                if old_dirty or self.capture_clean_victims:
                     old_data = yield from self.storage.timed_read_inode(
                         bank.inode, self._frame_offset(frame_index),
                         self.config.block_size)
-                    victim = CachedBlock(
-                        keys[frame_index],
-                        old_data[:bank.lengths[frame_index]], True)
+                    if keys[frame_index] is not None:
+                        victim = CachedBlock(
+                            keys[frame_index],
+                            old_data[:bank.lengths[frame_index]], old_dirty)
                 # The tag may already be gone if the cache was flushed
                 # while this placement waited on the victim read, so
                 # re-read it rather than trusting a pre-wait snapshot.
-                self._where.pop(keys[frame_index], None)
+                old_key = keys[frame_index]
+                if old_key is not None:
+                    self._where.pop(old_key, None)
+                    if self.observers:
+                        self._notify_retracted(old_key)
 
         self._tick += 1
         was_dirty = keys[frame_index] is not None and bank.dirty[frame_index]
@@ -289,14 +309,25 @@ class ProxyBlockCache:
                     f"{frame_index} {len(data)} {crc}\n")
             elif key in self._journal_live:
                 self._journal_remove(key)
+        if self.observers and dirty:
+            # A clean frame re-tagged dirty (local write over a cached
+            # block) stops being shareable until written back.
+            self._notify_retracted(key)
         return bank.inode, self._frame_offset(frame_index), victim
 
     def insert(self, key: BlockKey, data: bytes,
                dirty: bool = False) -> Generator:
-        """Process: place a block; returns an evicted dirty
-        :class:`CachedBlock` needing upstream write-back, or None."""
+        """Process: place a block; returns an evicted
+        :class:`CachedBlock` victim or None.  Victims are dirty frames
+        needing upstream write-back — plus, with
+        ``capture_clean_victims``, clean frames eligible for demotion."""
         inode, offset, victim = yield from self._place(key, data, dirty)
         yield from self.storage.timed_write_inode(inode, data, offset)
+        if self.observers and not dirty:
+            # Publish only after the bank file holds the bytes: a peer
+            # may read the frame the moment the directory learns of it.
+            if key in self._where and not self.is_dirty(key):
+                self._notify_published(key)
         return victim
 
     def insert_many(self, items: List[Tuple[BlockKey, bytes]],
@@ -307,8 +338,8 @@ class ProxyBlockCache:
         A readahead window of consecutive blocks lands in consecutive
         sets of one bank with the way-major frame layout, so the whole
         window usually costs one disk write instead of one per block.
-        Returns the list of evicted dirty :class:`CachedBlock` victims
-        (possibly empty).
+        Returns the list of evicted :class:`CachedBlock` victims
+        (possibly empty; clean ones only with ``capture_clean_victims``).
         """
         victims: List[CachedBlock] = []
         writes: List[Tuple[int, object, int, bytes]] = []
@@ -334,7 +365,60 @@ class ProxyBlockCache:
                 data = b"".join(w[3] for w in writes[i:j])
             yield from self.storage.timed_write_inode(inode, data, offset)
             i = j
+        if self.observers and not dirty:
+            for key, _ in items:
+                if key in self._where and not self.is_dirty(key):
+                    self._notify_published(key)
         return victims
+
+    # -- cooperative-caching feed ------------------------------------------------
+    def _notify_published(self, key: BlockKey) -> None:
+        for obs in self.observers:
+            obs.block_published(key)
+
+    def _notify_retracted(self, key: BlockKey) -> None:
+        for obs in self.observers:
+            obs.block_retracted(key)
+
+    def _notify_cleared(self) -> None:
+        for obs in self.observers:
+            obs.cache_cleared()
+
+    def read_cached(self, key: BlockKey) -> Generator:
+        """Process: read a clean cached block on behalf of a peer proxy.
+
+        Serving a peer must not distort this cache's own locality
+        signals, so there is no hit/miss accounting and no recency
+        update.  Returns the block's bytes, or None when the block is
+        absent or dirty — dirty frames are session-private until they
+        have been written back upstream.
+        """
+        where = self._where.get(key)
+        if where is None:
+            return None
+        bank_index, frame_index = where
+        bank = self._banks[bank_index]
+        if bank.dirty[frame_index]:
+            return None
+        data = yield from self.storage.timed_read_inode(
+            bank.inode, self._frame_offset(frame_index),
+            self.config.block_size)
+        # Re-validate after the disk wait: a concurrent placement may
+        # have reused the frame, making the bytes just read stale.
+        if bank.keys[frame_index] != key or bank.dirty[frame_index]:
+            return None
+        self.peer_reads += 1
+        length = bank.lengths[frame_index]
+        return data if length == len(data) else data[:length]
+
+    def iter_clean_keys(self) -> List[BlockKey]:
+        """Snapshot of every clean cached key, in deterministic order —
+        seeds a peer-cache directory when a warm cache joins."""
+        banks = self._banks
+        out = [key for key, (b, f) in self._where.items()
+               if not banks[b].dirty[f]]
+        out.sort(key=lambda k: (k[0].fsid, k[0].fileid, k[1]))
+        return out
 
     def read_many(self, keys: List[BlockKey]) -> Generator:
         """Process: fetch several cached blocks for upstream write-back,
@@ -439,6 +523,8 @@ class ProxyBlockCache:
         self._where.clear()
         self.dirty_frames = 0
         self._journal_live.clear()
+        if self.observers:
+            self._notify_cleared()
         if self.journal_enabled:
             # Re-derive the append position from the surviving file.
             self._journal_offset = self._journal_inode.data.size
@@ -501,6 +587,8 @@ class ProxyBlockCache:
         if bank.dirty[where[1]]:
             bank.dirty[where[1]] = False
             self.dirty_frames -= 1
+            if self.observers:
+                self._notify_published(key)
         if self.journal_enabled:
             self._journal_remove(key)
 
@@ -580,6 +668,8 @@ class ProxyBlockCache:
             self.policy.clear_bank(bank)
         self._where.clear()
         self.dirty_frames = 0
+        if self.observers:
+            self._notify_cleared()
         if self.journal_enabled and self._journal_live:
             self._journal_live.clear()
             self._journal_inode.data.truncate(0)
@@ -594,6 +684,7 @@ class ProxyBlockCache:
         self.insertions = 0
         self.evictions = 0
         self.writebacks = 0
+        self.peer_reads = 0
 
     @property
     def cached_blocks(self) -> int:

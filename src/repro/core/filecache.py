@@ -33,23 +33,59 @@ class FileCacheEntry:
     inode: Inode         # local copy on the proxy host
     size: int
     dirty: bool = False
+    last_use: int = 0    # LRU tick (monotonic, unique per touch)
 
 
 class ProxyFileCache:
-    """Whole-file cache on the proxy host's local disk."""
+    """Whole-file cache on the proxy host's local disk.
+
+    ``capacity_bytes`` bounds the cache by *payload bytes*, not entry
+    count — a 2 GB memory-state file and a 4 KB config file are wildly
+    different costs on the proxy disk.  When an install or local write
+    pushes the total over budget, clean entries are evicted in LRU
+    order until it fits; dirty entries are never evicted (their only
+    copy of the modifications lives here), so a write burst can overrun
+    the budget until the channel uploads — counted in
+    ``budget_overruns``.  ``None`` (the default) keeps the historical
+    unbounded behavior.
+    """
 
     def __init__(self, env: Environment, storage: LocalFileSystem,
-                 name: str = "filecache"):
+                 name: str = "filecache",
+                 capacity_bytes: Optional[int] = None):
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError(f"non-positive capacity: {capacity_bytes}")
         self.env = env
         self.storage = storage
         self.name = name
+        self.capacity_bytes = capacity_bytes
         self._entries: Dict[FileHandle, FileCacheEntry] = {}
+        self._tick = 0
         if not storage.fs.exists(self._root()):
             storage.fs.mkdir(self._root(), parents=True)
         # Statistics
         self.hits = 0
         self.misses = 0
         self.installs = 0
+        self.evictions = 0
+        self.budget_overruns = 0
+
+    def _touch(self, entry: FileCacheEntry) -> None:
+        self._tick += 1
+        entry.last_use = self._tick
+
+    def _enforce_budget(self) -> None:
+        """Evict clean LRU entries until the payload fits the budget."""
+        if self.capacity_bytes is None:
+            return
+        while self.bytes_cached > self.capacity_bytes:
+            victims = [e for e in self._entries.values() if not e.dirty]
+            if not victims:
+                self.budget_overruns += 1
+                return
+            victim = min(victims, key=lambda e: e.last_use)
+            self.evict(victim.fh)
+            self.evictions += 1
 
     def _root(self) -> str:
         return f"/{self.name}"
@@ -68,6 +104,11 @@ class ProxyFileCache:
     def cached_files(self) -> int:
         return len(self._entries)
 
+    @property
+    def bytes_cached(self) -> int:
+        """Total payload bytes currently charged against the budget."""
+        return sum(e.size for e in self._entries.values())
+
     # -- installation ------------------------------------------------------------
     def install(self, fh: FileHandle, content: SparseFile) -> Generator:
         """Process: place a fetched file into the cache.
@@ -84,12 +125,14 @@ class ProxyFileCache:
         inode.data = content.copy()
         entry = FileCacheEntry(fh=fh, inode=inode, size=content.size)
         self._entries[fh] = entry
+        self._touch(entry)
         # The uncompress step wrote the *whole* file (zeros included) on a
         # real host: charge the full size to the write-behind pool and
         # leave the fresh pages warm in the host page cache.
         yield from self.storage.stage_bulk_write(
             inode, content.size, warm_chunks=range(inode.data.n_chunks()))
         self.installs += 1
+        self._enforce_budget()
         return entry
 
     # -- data access ------------------------------------------------------------
@@ -100,6 +143,7 @@ class ProxyFileCache:
             self.misses += 1
             return None
         self.hits += 1
+        self._touch(entry)
         data = yield from self.storage.timed_read_inode(
             entry.inode, offset, count)
         return data
@@ -113,6 +157,8 @@ class ProxyFileCache:
             entry.inode, data, offset)
         entry.size = entry.inode.data.size
         entry.dirty = True
+        self._touch(entry)
+        self._enforce_budget()
 
     def mark_clean(self, fh: FileHandle) -> None:
         entry = self._entries.get(fh)

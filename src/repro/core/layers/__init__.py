@@ -15,6 +15,7 @@ from repro.core.layers.base import ProxyLayer
 from repro.core.layers.blocks import BlockCacheLayer
 from repro.core.layers.degraded import DegradedModeLayer
 from repro.core.layers.filechannel import FileChannelLayer
+from repro.core.layers.peers import PeerCacheLayer
 from repro.core.layers.readahead import ReadaheadLayer
 from repro.core.layers.stack import (
     LEGACY_COUNTERS,
@@ -36,6 +37,7 @@ __all__ = [
     "DegradedModeLayer",
     "FileChannelLayer",
     "LEGACY_COUNTERS",
+    "PeerCacheLayer",
     "ProxyLayer",
     "ProxyStack",
     "ProxyStats",

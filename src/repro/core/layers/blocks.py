@@ -13,6 +13,15 @@ Degraded-mode decisions (clean error on a miss with the upstream down,
 the dirty high-water mark, write rejects during an outage) are
 delegated sideways to the fault-guard layer; readahead bookkeeping
 (run detection, prefetch accounting) to the readahead layer.
+
+Exclusive-cascade demotion (off by default): once :meth:`arm_demotion`
+verifies the next level up also runs a block cache, clean eviction
+victims are handed upstream as ``DEMOTE`` calls carrying the block
+bytes — the receiver caches them without re-reading origin — instead
+of being dropped, so stacked cascade levels stop holding duplicate
+copies of the same golden-image blocks.  Adaptive sizing can also
+``bypass`` a level whose cache stopped paying: a bypassed layer passes
+every request straight down and absorbs nothing.
 """
 
 from __future__ import annotations
@@ -22,7 +31,8 @@ from typing import Generator, List, Optional, Tuple
 
 from repro.core.config import CachePolicy
 from repro.core.layers.base import ProxyLayer
-from repro.nfs.protocol import FileHandle, NfsProc, NfsReply, NfsRequest, NfsStatus
+from repro.nfs.protocol import (FileHandle, NfsError, NfsProc, NfsReply,
+                                NfsRequest, NfsStatus)
 from repro.nfs.rpc import RpcTimeout
 from repro.sim import AllOf
 
@@ -40,6 +50,10 @@ class BlockCacheStats:
     merged_write_rpcs: int = 0      # coalesced upstream WRITEs during flush
     merged_write_blocks: int = 0    # blocks those WRITEs carried
     recovered_dirty_blocks: int = 0 # dirty frames rebuilt from the journal
+    demotions_out: int = 0          # clean victims DEMOTEd to the next level
+    demotions_in: int = 0           # demoted blocks absorbed from below
+    demotion_drops: int = 0         # demotes refused or failed (best-effort)
+    bypassed_requests: int = 0      # requests passed through while bypassed
 
 
 class BlockCacheLayer(ProxyLayer):
@@ -54,6 +68,10 @@ class BlockCacheLayer(ProxyLayer):
         # (fh, block) -> in-progress block fetch gate: N concurrent READs
         # of one uncached block coalesce onto a single upstream RPC.
         self.gates: dict = {}
+        #: Exclusive-cascade demotion, armed via :meth:`arm_demotion`.
+        self.demote_enabled = False
+        #: Adaptive-sizing bypass: pass everything straight down.
+        self.bypassed = False
 
     # --------------------------------------------------------------- sideways
     @property
@@ -84,6 +102,11 @@ class BlockCacheLayer(ProxyLayer):
     # ------------------------------------------------------------------ handle
     def handle(self, request) -> Generator:
         proc = request.proc
+        if proc is NfsProc.DEMOTE:
+            return (yield from self._handle_demote(request))
+        if self.bypassed:
+            self.stats.bypassed_requests += 1
+            return (yield from self.next.handle(request))
         if proc is NfsProc.READ:
             return (yield from self._handle_read(request))
         if proc is NfsProc.WRITE:
@@ -160,7 +183,7 @@ class BlockCacheLayer(ProxyLayer):
         if not reply.ok:
             return reply
         if victim is not None:
-            yield from self.write_back_block(victim.key, victim.data)
+            yield from self.dispose_victim(victim)
         data = reply.data[within:within + count]
         eof = reply.eof and within + count >= len(reply.data)
         return NfsReply(NfsProc.READ, NfsStatus.OK, fh=fh, data=data,
@@ -239,7 +262,89 @@ class BlockCacheLayer(ProxyLayer):
         victim = yield from self.block_cache.insert(key, bytes(base),
                                                     dirty=dirty)
         if victim is not None:
+            yield from self.dispose_victim(victim)
+
+    # --------------------------------------------------- exclusive demotion
+    def arm_demotion(self) -> bool:
+        """Arm exclusive-cascade demotion for this level.
+
+        Only sensible — and only safe — when the next level up also
+        runs a writable block cache of the same block size: the kernel
+        NFS server does not speak ``DEMOTE``, and a demoted block must
+        land in a frame it fits.  Returns whether demotion was armed;
+        arming also turns on clean-victim capture in the cache (the
+        only way clean victims surface at all).
+        """
+        up = self.stack.upstream_stack()
+        if up is None:
+            return False
+        target = up.layer("block-cache")
+        if target is None or target.block_cache.read_only:
+            return False
+        if up.block_size() != self.stack.block_size():
+            return False
+        self.demote_enabled = True
+        self.block_cache.capture_clean_victims = True
+        return True
+
+    def dispose_victim(self, victim) -> Generator:
+        """Process: route one eviction victim — dirty blocks write back
+        upstream; clean ones (surfaced only while demotion is armed)
+        demote one hop up."""
+        if victim.dirty:
             yield from self.write_back_block(victim.key, victim.data)
+        else:
+            yield from self.demote_block(victim.key, victim.data)
+
+    def demote_block(self, key, data: bytes) -> Generator:
+        """Process: hand one clean eviction victim to the next level up.
+
+        Best effort: a lost demote costs a future refetch, never
+        correctness, so upstream failures are swallowed rather than
+        propagated into whatever I/O triggered the eviction.
+        """
+        if not self.demote_enabled:
+            return
+        fh, idx = key
+        try:
+            reply = yield from self.stack.upstream.call(NfsRequest(
+                NfsProc.DEMOTE, fh=fh,
+                offset=idx * self.stack.block_size(), data=data,
+                stable=False, credentials=self.config.identity or (0, 0)))
+        except (RpcTimeout, NfsError):
+            self.stats.demotion_drops += 1
+            return
+        if reply.ok:
+            self.stats.demotions_out += 1
+        else:
+            self.stats.demotion_drops += 1
+
+    def _handle_demote(self, request) -> Generator:
+        """Process: absorb a block demoted by the cache one level down.
+
+        The block is installed clean without re-reading origin — that
+        is the whole point of the fast path.  A demote never travels
+        further down the stack (one hop per demote; an insert here may
+        of course evict a victim of its own, which is disposed the
+        usual way), and never overwrites a resident copy: a raced
+        demand fill is as fresh, and a dirty local copy is newer.
+        """
+        fh, data = request.fh, request.data
+        bs = self.stack.block_size()
+        idx, within = divmod(request.offset, bs)
+        if (self.bypassed or self.block_cache.read_only or within
+                or len(data) > bs):
+            self.stats.demotion_drops += 1
+            return NfsReply(NfsProc.DEMOTE, NfsStatus.OK, fh=fh)
+        key = (fh, idx)
+        if key in self.block_cache:
+            self.stats.demotion_drops += 1
+            return NfsReply(NfsProc.DEMOTE, NfsStatus.OK, fh=fh)
+        victim = yield from self.block_cache.insert(key, data, dirty=False)
+        self.stats.demotions_in += 1
+        if victim is not None:
+            yield from self.dispose_victim(victim)
+        return NfsReply(NfsProc.DEMOTE, NfsStatus.OK, fh=fh, count=len(data))
 
     # -------------------------------------------------------------- write-back
     def write_back_block(self, key, data: bytes) -> Generator:
@@ -334,6 +439,42 @@ class BlockCacheLayer(ProxyLayer):
 
     def dirty_blocks(self) -> int:
         return len(self.block_cache.dirty_blocks())
+
+    def replace_cache(self, new_cache) -> None:
+        """Swap the backing block cache (adaptive resizing).
+
+        Refused while dirty frames exist — the caller flushes first, so
+        a resize can never lose write-back data.  Cooperative state
+        carries over: observers move to the new cache (which starts
+        empty, so the old contents are retracted from any directory)
+        and clean-victim capture keeps its setting.
+        """
+        if self.block_cache.dirty_frames:
+            raise RuntimeError(f"{self.block_cache.name}: replace_cache "
+                               "with dirty frames; flush first")
+        if new_cache.config.block_size != self.block_cache.config.block_size:
+            raise ValueError("replace_cache must keep the block size")
+        old = self.block_cache
+        new_cache.capture_clean_victims = old.capture_clean_victims
+        new_cache.observers.extend(old.observers)
+        for obs in old.observers:
+            obs.cache_cleared()
+        old.observers.clear()
+        self.gates.clear()
+        self.block_cache = new_cache
+
+    def stats_snapshot(self) -> dict:
+        # Beyond the request counters, expose the cache's own occupancy
+        # and churn: the adaptive-sizing planner estimates each level's
+        # working set from deep snapshots alone (repro.core.adaptive).
+        snap = super().stats_snapshot()
+        cache = self.block_cache
+        snap["cache_insertions"] = cache.insertions
+        snap["cache_evictions"] = cache.evictions
+        snap["cached_blocks"] = cache.cached_blocks
+        snap["capacity_frames"] = cache.config.total_frames
+        snap["bypassed"] = int(self.bypassed)
+        return snap
 
     def reset(self) -> None:
         super().reset()

@@ -167,7 +167,7 @@ class ReadaheadLayer(ProxyLayer):
                     gate.succeed()
         for victim in victims:
             try:
-                yield from block.write_back_block(victim.key, victim.data)
+                yield from block.dispose_victim(victim)
             except Exception:
                 pass   # contained: a prefetch must not crash the session
 

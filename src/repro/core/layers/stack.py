@@ -34,6 +34,7 @@ from repro.core.layers.base import ProxyLayer, counter_names
 from repro.core.layers.blocks import BlockCacheLayer
 from repro.core.layers.degraded import DegradedModeLayer
 from repro.core.layers.filechannel import FileChannelLayer
+from repro.core.layers.peers import PeerCacheLayer
 from repro.core.layers.readahead import ReadaheadLayer
 from repro.core.layers.terminal import UpstreamRpcLayer
 from repro.core.layers.zeromap import ZeroMapLayer
@@ -143,10 +144,17 @@ class ProxyStats:
         return f"ProxyStats({body})"
 
 
-def standard_layers(block_cache=None, channel=None) -> List[ProxyLayer]:
+def standard_layers(block_cache=None, channel=None,
+                    peer_member=None) -> List[ProxyLayer]:
     """The canonical GVFS composition: attr patching and meta-data on
     top, optional file-channel and block-cache/readahead caching in the
-    middle, the fault guard and the upstream hop at the bottom."""
+    middle, the fault guard, the optional peer-cache lookup, and the
+    upstream hop at the bottom.
+
+    The peer layer sits below the fault guard so both demand misses
+    (``guarded_fetch`` re-enters below the cache) and readahead window
+    fetches consult same-site peers before crossing the WAN.
+    """
     layers: List[ProxyLayer] = [AttrPatchLayer(), ZeroMapLayer()]
     if channel is not None:
         layers.append(FileChannelLayer(channel))
@@ -154,6 +162,8 @@ def standard_layers(block_cache=None, channel=None) -> List[ProxyLayer]:
         layers.append(BlockCacheLayer(block_cache))
         layers.append(ReadaheadLayer())
     layers.append(DegradedModeLayer())
+    if peer_member is not None:
+        layers.append(PeerCacheLayer(peer_member))
     layers.append(UpstreamRpcLayer())
     return layers
 

@@ -164,8 +164,8 @@ class Prefetcher:
             victim = yield from self.proxy.block_cache.insert(
                 (fh, index), reply.data, dirty=False)
             if victim is not None:
-                yield from self.proxy.layer("block-cache").write_back_block(
-                    victim.key, victim.data)
+                yield from self.proxy.layer("block-cache").dispose_victim(
+                    victim)
             self.blocks_fetched += 1
         else:
             self.proxy.stats.prefetch_failed += 1

@@ -52,12 +52,14 @@ class GvfsProxy(ProxyStack):
     def __init__(self, env: Environment, upstream: RpcClient,
                  config: ProxyConfig = ProxyConfig(),
                  block_cache: Optional[ProxyBlockCache] = None,
-                 channel: Optional[FileChannel] = None):
+                 channel: Optional[FileChannel] = None,
+                 peer_member=None):
         if config.cache is not None and block_cache is None:
             raise ValueError("config requests a cache but none was attached")
         super().__init__(env, upstream, config,
                          standard_layers(block_cache=block_cache,
-                                         channel=channel))
+                                         channel=channel,
+                                         peer_member=peer_member))
 
     # ----------------------------------------------------- legacy state views
     @property

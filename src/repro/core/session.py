@@ -204,7 +204,8 @@ class ServerEndpoint:
 
 def build_caching_proxy(env: Environment, upstream: RpcClient, *, name: str,
                         cache_config: ProxyCacheConfig, block_cache,
-                        channel, metadata: bool = True) -> GvfsProxy:
+                        channel, metadata: bool = True,
+                        peer_member=None) -> GvfsProxy:
     """One caching GVFS proxy: the standard layer stack (attr patching,
     zero-map meta-data, file channel, block cache + readahead, fault
     guard, upstream RPC) over ``upstream``.
@@ -212,11 +213,14 @@ def build_caching_proxy(env: Environment, upstream: RpcClient, *, name: str,
     Every cache level in a cascade — the client proxy, a second-level
     LAN cache, an N-th level — is this same composition; only the
     upstream RPC client (the next hop) and the cache objects differ.
+    ``peer_member`` (a ``PeerCacheDirectory.join`` handle) inserts the
+    cooperative peer-cache lookup below the fault guard.
     """
     return GvfsProxy(env, upstream,
                      ProxyConfig(name=name, cache=cache_config,
                                  metadata=metadata, **pipeline_overrides()),
-                     block_cache=block_cache, channel=channel)
+                     block_cache=block_cache, channel=channel,
+                     peer_member=peer_member)
 
 
 def direct_file_channel(env: Environment, endpoint: ServerEndpoint,
@@ -385,6 +389,23 @@ class ProxyCascade:
         """Per-level counter snapshots, client-ward first."""
         return [level.proxy.stats_snapshot() for level in self.levels]
 
+    def arm_exclusive(self) -> int:
+        """Make the cascade exclusive: every level whose next level up
+        also caches demotes clean eviction victims upstream instead of
+        dropping them (see ``BlockCacheLayer.arm_demotion``).  The
+        origin-adjacent level stays inclusive — its upstream is the
+        server-side forwarding proxy, which has no cache to demote
+        into.  Client proxies arm themselves via
+        ``GvfsSession.build(..., exclusive=True)``.  Returns the number
+        of levels armed.
+        """
+        armed = 0
+        for level in self.levels:
+            layer = level.proxy.layer("block-cache")
+            if layer is not None and layer.arm_demotion():
+                armed += 1
+        return armed
+
 
 def build_cascade(testbed: Testbed, endpoint: ServerEndpoint,
                   levels: Sequence[Union[CascadeLevelSpec, ProxyCacheConfig]],
@@ -510,7 +531,10 @@ class GvfsSession:
               mount_options: Optional[MountOptions] = None,
               metadata: bool = True,
               via: Optional[Union[CascadeLevel, ProxyCascade]] = None,
-              shared_block_cache: Optional[ProxyBlockCache] = None
+              shared_block_cache: Optional[ProxyBlockCache] = None,
+              peer_directory=None,
+              exclusive: bool = False,
+              file_cache_capacity: Optional[int] = None
               ) -> "GvfsSession":
         """Wire a session for ``scenario`` on compute node ``compute_index``.
 
@@ -524,6 +548,14 @@ class GvfsSession:
         512 banks / 16-way / 8 GB).  ``shared_block_cache`` lets several
         sessions on one host share a read-only cache of golden-image
         blocks (§3.2.1); the proxy then forwards writes upstream.
+
+        ``peer_directory`` (a :meth:`Testbed.peer_directory`) registers
+        this session's block cache with the site's cooperative peer
+        directory so LAN peers answer each other's misses before they
+        escalate over the WAN.  ``exclusive=True`` arms exclusive-
+        cascade demotion: the client proxy hands clean eviction victims
+        to its upstream cache level (a no-op when the upstream is the
+        cacheless server endpoint, so depth-1 behavior is unchanged).
         """
         env = testbed.env
         n = next(_session_counter)
@@ -573,7 +605,9 @@ class GvfsSession:
                 block_cache = ProxyBlockCache(env, compute.local,
                                               cache_config,
                                               name=f"s{n}.blocks")
-            file_cache = ProxyFileCache(env, compute.local, name=f"s{n}.files")
+            file_cache = ProxyFileCache(env, compute.local,
+                                        name=f"s{n}.files",
+                                        capacity_bytes=file_cache_capacity)
             scp = ScpTransfer(env, route_back, name=f"s{n}.scp")
             upload_scp = ScpTransfer(env, route_out, name=f"s{n}.scp-up")
             if via is not None:
@@ -583,10 +617,17 @@ class GvfsSession:
                 channel = direct_file_channel(env, endpoint, compute,
                                               file_cache, scp,
                                               upload_scp=upload_scp)
+            peer_member = None
+            if peer_directory is not None:
+                peer_member = peer_directory.join(f"s{n}", compute,
+                                                  block_cache)
             client_proxy = build_caching_proxy(
                 env, upstream, name=f"s{n}.client-proxy",
                 cache_config=cache_config, block_cache=block_cache,
-                channel=channel, metadata=metadata)
+                channel=channel, metadata=metadata,
+                peer_member=peer_member)
+            if exclusive:
+                client_proxy.layer("block-cache").arm_demotion()
             loop = LoopbackTransport(env)
             mount_rpc = RpcClient(env, client_proxy, loop, loop,
                                   name=f"s{n}.mount")

@@ -93,6 +93,20 @@ class Link:
         """Time the transmitter is held for a message of ``nbytes``."""
         return (nbytes + HEADER_BYTES) / self.bandwidth
 
+    @property
+    def fluid_ready(self) -> bool:
+        """True while this link may use the fluid fast path: fluid mode
+        and no outage history.
+
+        The scalar busy-until clock cannot represent traffic stalled
+        behind an outage, so a link's first failure permanently demotes
+        it to the exact store-and-forward path — accuracy around faults
+        beats the event saving.  This is what lets the fault-injection
+        benches run fluid: unfaulted links keep the fast path, faulted
+        ones fall back.
+        """
+        return self.mode is LinkMode.FLUID and self.outages == 0
+
     # -- fault injection ------------------------------------------------------
     def fail(self) -> None:
         """Take the link down; traffic stalls (or drops) until restore()."""
@@ -151,11 +165,17 @@ class Link:
         """Process: queue for the transmitter, serialize, propagate."""
         if nbytes < 0:
             raise ValueError(f"negative message size: {nbytes}")
-        if self.mode is LinkMode.FLUID:
+        if self.fluid_ready:
             yield from self._transmit_fluid(nbytes)
             return
         if self.failed:
             yield from self._blocked()
+        if self._fluid_busy_until > self.env.now:
+            # A fluid link that just fell back to the exact path after
+            # its first outage: traffic that entered fluid still owns
+            # the wire until busy-until; queue behind it.  Zero-cost on
+            # always-exact links (busy-until never moves off 0).
+            yield self.env.timeout(self._fluid_busy_until - self.env.now)
         req = self._tx.request()
         try:
             # ``yield req`` sits inside the try so an interrupt landing
@@ -232,13 +252,14 @@ class Route:
         concurrent bulk streams share a bottleneck link in arrival
         order exactly like queued chunks would.
 
-        Falls back to per-hop store-and-forward when any hop is EXACT
-        or down — correctness (fault stalls, contention with discrete
-        traffic) beats the event saving there.
+        Falls back to per-hop store-and-forward when any hop is EXACT,
+        down, or has ever been down (see :attr:`Link.fluid_ready`) —
+        correctness (fault stalls, contention with discrete traffic)
+        beats the event saving there.
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
-        if self.mode is not LinkMode.FLUID or any(l.failed for l in self.links):
+        if any(not l.fluid_ready for l in self.links):
             yield from self.transmit(nbytes)
             return
         env = self.env

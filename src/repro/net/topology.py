@@ -20,12 +20,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.net.link import LinkMode, Route, duplex
-from repro.sim import Environment, FifoResource
+from repro.sim import AnyOf, Environment, Event, FifoResource
 from repro.storage.disk import DiskParams, SCSI_2003
 from repro.storage.localfs import LocalFileSystem
 
-__all__ = ["Host", "LINK_PROFILES", "NetworkConditions", "Testbed",
-           "make_paper_testbed", "resolve_profile",
+__all__ = ["Host", "LINK_PROFILES", "NetworkConditions", "PeerCacheDirectory",
+           "PeerMember", "Testbed", "make_paper_testbed", "resolve_profile",
            "LAN_2003", "RACK_2003", "SITE_2003", "WAN_2003"]
 
 
@@ -113,6 +113,236 @@ class Host:
         return f"<Host {self.name}>"
 
 
+class PeerMember:
+    """One proxy's membership in a site's peer-cache directory.
+
+    Doubles as the block cache's observer (``block_published`` /
+    ``block_retracted`` / ``cache_cleared``), relaying ownership changes
+    into the directory, and as the handle the proxy's peer-cache layer
+    borrows through.  Fully duck-typed on the cache object — the
+    network package never imports :mod:`repro.core`.
+    """
+
+    __slots__ = ("name", "host", "block_cache", "directory")
+
+    def __init__(self, name: str, host: Host, block_cache, directory):
+        self.name = name
+        self.host = host
+        self.block_cache = block_cache
+        self.directory = directory
+
+    # -- cache observer feed (pushed membership updates) ---------------------
+    def block_published(self, key) -> None:
+        self.directory._publish(self, key)
+
+    def block_retracted(self, key) -> None:
+        self.directory._retract(self, key)
+
+    def cache_cleared(self) -> None:
+        self.directory._retract_all(self)
+
+    # -- the borrow face used by the proxy's peer-cache layer ----------------
+    def borrow(self, key):
+        """Process: fetch ``key`` from a same-site peer (see
+        :meth:`PeerCacheDirectory.borrow`)."""
+        return self.directory.borrow(self, key)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PeerMember {self.name} on {self.host.name}>"
+
+
+class PeerCacheDirectory:
+    """Per-site block-ownership directory for cooperative proxy caching.
+
+    Peer proxies on one site register their block caches; each cache
+    pushes ownership deltas as blocks become (or stop being) shareable,
+    so the directory's map is always current without polling.  Only
+    *clean* blocks are listed — dirty frames are session-private until
+    written back.  A miss then consults the directory before crossing
+    the WAN: a small query round trip to the directory host, and on a
+    hit the block moves peer-to-peer over the site's cheap links.
+
+    Timing model: membership updates ride existing traffic (piggybacked
+    deltas, not charged); a lookup pays the query round trip; a borrow
+    additionally pays the request message to the owner, the owner's
+    bank-file read, and the block-sized response.  Routes between host
+    pairs are built once and cached, so steady-state lookups allocate
+    nothing.
+    """
+
+    #: Size of a directory query / response / block-request message.
+    QUERY_BYTES = 128
+    #: How long a miss waits for a site peer's in-flight fetch of the
+    #: same block before giving up and crossing the WAN itself.
+    PENDING_TIMEOUT = 0.5
+
+    def __init__(self, testbed: "Testbed", site: str = "site0",
+                 host: Optional[Host] = None):
+        self.testbed = testbed
+        self.env = testbed.env
+        self.site = site
+        #: Host answering directory queries (the LAN image server by
+        #: default — it is on every member's cheap-link horizon).
+        self.host = host if host is not None else testbed.lan_server
+        self.members: List[PeerMember] = []
+        # key -> owners, in deterministic registration order.
+        self._owners: Dict = {}
+        # key -> publication gate: set when the directory told a member
+        # "nobody has it" (that member becomes the site's designated
+        # WAN fetcher); later askers wait on the gate instead of
+        # duplicating the fetch.
+        self._pending: Dict = {}
+        self._routes: Dict = {}
+        # Statistics
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.coalesced = 0
+        self.pending_timeouts = 0
+        self.bytes_served = 0
+
+    def join(self, name: str, host: Host, block_cache) -> PeerMember:
+        """Register a proxy's block cache; returns its member handle.
+
+        Installs the membership observer on the cache and seeds the
+        directory with whatever clean blocks the cache already holds
+        (a warm cache joining late is immediately useful).  Joining the
+        same cache twice returns the existing member.
+        """
+        for member in self.members:
+            if member.block_cache is block_cache:
+                return member
+        member = PeerMember(name, host, block_cache, self)
+        self.members.append(member)
+        block_cache.observers.append(member)
+        for key in block_cache.iter_clean_keys():
+            self._publish(member, key)
+        return member
+
+    # -- membership map (synchronous, pushed by cache observers) -------------
+    def _publish(self, member: PeerMember, key) -> None:
+        owners = self._owners.get(key)
+        if owners is None:
+            self._owners[key] = [member]
+        elif member not in owners:
+            owners.append(member)
+        gate = self._pending.pop(key, None)
+        if gate is not None and not gate.triggered:
+            gate.succeed()
+
+    def _retract(self, member: PeerMember, key) -> None:
+        owners = self._owners.get(key)
+        if owners is not None and member in owners:
+            owners.remove(member)
+            if not owners:
+                del self._owners[key]
+
+    def _retract_all(self, member: PeerMember) -> None:
+        dead = [key for key, owners in self._owners.items()
+                if member in owners]
+        for key in dead:
+            self._retract(member, key)
+
+    def locate(self, key, exclude: Optional[PeerMember] = None):
+        """First registered owner of ``key`` other than ``exclude``
+        (deterministic: registration order), or None."""
+        owners = self._owners.get(key)
+        if not owners:
+            return None
+        for owner in owners:
+            if owner is not exclude:
+                return owner
+        return None
+
+    def _route(self, src: Host, dst: Host) -> Route:
+        pair = (src.name, dst.name)
+        route = self._routes.get(pair)
+        if route is None:
+            route = self.testbed.route(src, dst)
+            self._routes[pair] = route
+        return route
+
+    def borrow(self, member: PeerMember, key):
+        """Process: try to fetch ``key`` from a same-site peer.
+
+        Returns ``(data, owner_found)``: ``(bytes, True)`` on a peer
+        hit; ``(None, False)`` when no peer owns the block;
+        ``(None, True)`` when the directory's answer was stale — the
+        listed owner evicted or dirtied the block before the request
+        arrived (the caller falls through to its upstream either way).
+
+        When no peer owns the block but one is already fetching it over
+        the WAN (this member was told "nobody has it" moments ago), the
+        directory answers "in flight — wait": the asker blocks on the
+        publication gate up to :attr:`PENDING_TIMEOUT` and then borrows
+        the freshly landed copy over the LAN, so a storm of peers
+        cloning one image moves each block across the WAN once instead
+        of once per peer.
+        """
+        self.lookups += 1
+        # Query round trip to the directory host.
+        yield from self._route(member.host, self.host).transmit(
+            self.QUERY_BYTES)
+        owner = self.locate(key, exclude=member)
+        yield from self._route(self.host, member.host).transmit(
+            self.QUERY_BYTES)
+        if owner is None:
+            gate = self._pending.get(key)
+            if gate is None:
+                # This member becomes the designated fetcher.
+                self._pending[key] = Event(self.env)
+                self.misses += 1
+                return None, False
+            yield AnyOf(self.env, [gate,
+                                   self.env.timeout(self.PENDING_TIMEOUT)])
+            if not gate.triggered:
+                # The fetcher stalled (WAN fault, failed fetch): stop
+                # advertising it so the next asker takes over, and fall
+                # through to our own upstream.
+                if self._pending.get(key) is gate:
+                    del self._pending[key]
+                self.pending_timeouts += 1
+                self.misses += 1
+                return None, False
+            # Published while we waited: re-query for the owner.
+            yield from self._route(member.host, self.host).transmit(
+                self.QUERY_BYTES)
+            owner = self.locate(key, exclude=member)
+            yield from self._route(self.host, member.host).transmit(
+                self.QUERY_BYTES)
+            if owner is None:
+                # Evicted again in the window between publish and
+                # re-query; give up and go upstream.
+                self.misses += 1
+                return None, False
+            self.coalesced += 1
+        # Block request to the owner; its cache charges the bank read.
+        yield from self._route(member.host, owner.host).transmit(
+            self.QUERY_BYTES)
+        data = yield from owner.block_cache.read_cached(key)
+        if data is None:
+            # Stale entry: gone (or dirtied) since the directory answered.
+            yield from self._route(owner.host, member.host).transmit(
+                self.QUERY_BYTES)
+            self.stale += 1
+            return None, True
+        yield from self._route(owner.host, member.host).transmit(
+            len(data) + self.QUERY_BYTES)
+        self.hits += 1
+        self.bytes_served += len(data)
+        return data, True
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        return {"members": len(self.members),
+                "listed_blocks": len(self._owners),
+                "lookups": self.lookups, "hits": self.hits,
+                "misses": self.misses, "stale": self.stale,
+                "coalesced": self.coalesced,
+                "pending_timeouts": self.pending_timeouts,
+                "bytes_served": self.bytes_served}
+
+
 class Testbed:
     """The wired-up testbed: hosts plus routes between them.
 
@@ -155,6 +385,10 @@ class Testbed:
         self.wan_segment = duplex(env, wan.latency, wan.bandwidth,
                                   name="abilene", mode=link_mode)
 
+        # Cooperative peer-cache directories, one per site, created on
+        # first use (see :meth:`peer_directory`).
+        self._peer_directories: Dict[str, PeerCacheDirectory] = {}
+
     # -- host construction --------------------------------------------------
     def add_host(self, name: str, cpus: int = 2, cpu_speed: float = 1.6,
                  page_cache_bytes: int = 512 * 1024 * 1024,
@@ -175,6 +409,18 @@ class Testbed:
             self.env, conditions.latency, conditions.bandwidth,
             name=f"{name}.eth", mode=self.link_mode)
         return host
+
+    # -- cooperative caching --------------------------------------------------
+    def peer_directory(self, site: str = "site0") -> PeerCacheDirectory:
+        """The site's cooperative peer-cache directory, created on
+        first use.  Proxies join it via
+        :meth:`PeerCacheDirectory.join`; the default directory host is
+        the LAN image server."""
+        directory = self._peer_directories.get(site)
+        if directory is None:
+            directory = PeerCacheDirectory(self, site=site)
+            self._peer_directories[site] = directory
+        return directory
 
     # -- route construction -------------------------------------------------
     def route(self, src: Host, dst: Host, via_wan: bool = False) -> Route:

@@ -54,6 +54,11 @@ class NfsProc(enum.Enum):
     RENAME = 14
     READDIR = 16
     COMMIT = 21
+    #: GVFS extension (not in RFC 1813): a cache one cascade level down
+    #: hands a clean eviction victim to the next level up, carrying the
+    #: block bytes so the receiver caches them without re-reading origin.
+    #: Only proxies that advertise a block cache ever see this call.
+    DEMOTE = 22
 
 
 class NfsStatus(enum.Enum):
@@ -183,7 +188,7 @@ class NfsRequest:
         n = self.__dict__.get("_wire_size")
         if n is None:
             n = RPC_OVERHEAD_BYTES
-            if self.proc is NfsProc.WRITE:
+            if self.proc is NfsProc.WRITE or self.proc is NfsProc.DEMOTE:
                 n += len(self.data)
             for s in (self.name, self.target, self.to_name):
                 if s:

@@ -1,0 +1,107 @@
+"""Byte-budget eviction in the whole-file proxy cache: clean LRU
+entries make room, dirty entries never leave, overruns are counted."""
+
+import pytest
+
+from repro.core.filecache import ProxyFileCache
+from repro.net.topology import Host
+from repro.nfs.protocol import FileHandle
+from repro.sim import Environment
+from repro.vm.image import make_memory_state
+
+MB = 1024 * 1024
+
+
+def make_cache(capacity_bytes):
+    env = Environment()
+    host = Host(env, "proxy", cpus=2)
+    return env, ProxyFileCache(env, host.local, capacity_bytes=capacity_bytes)
+
+
+def run(env, gen):
+    box = {}
+
+    def wrapper(env):
+        box["value"] = yield from gen
+        box["t"] = env.now
+
+    env.process(wrapper(env))
+    env.run()
+    return box["value"]
+
+
+def install(env, cache, fileid, size):
+    fh = FileHandle("x", fileid)
+    content = make_memory_state(size, zero_fraction=0.5, seed=fileid)
+    run(env, cache.install(fh, content))
+    return fh
+
+
+def test_unbounded_by_default():
+    env, cache = make_cache(None)
+    cache.capacity_bytes = None
+    for i in range(4):
+        install(env, cache, i, 1 * MB)
+    assert cache.cached_files == 4
+    assert cache.evictions == 0
+
+
+def test_rejects_nonpositive_capacity():
+    env = Environment()
+    host = Host(env, "proxy", cpus=2)
+    with pytest.raises(ValueError):
+        ProxyFileCache(env, host.local, capacity_bytes=0)
+
+
+def test_clean_lru_entry_evicted_over_budget():
+    env, cache = make_cache(2 * MB)
+    fh0 = install(env, cache, 0, 1 * MB)
+    fh1 = install(env, cache, 1, 1 * MB)
+    fh2 = install(env, cache, 2, 1 * MB)      # over budget: evict LRU (fh0)
+    assert cache.evictions == 1
+    assert fh0 not in cache
+    assert fh1 in cache and fh2 in cache
+    assert cache.bytes_cached <= 2 * MB
+
+
+def test_read_refreshes_lru_order():
+    env, cache = make_cache(2 * MB)
+    fh0 = install(env, cache, 0, 1 * MB)
+    fh1 = install(env, cache, 1, 1 * MB)
+    run(env, cache.read(fh0, 0, 4096))        # fh0 now most recent
+    install(env, cache, 2, 1 * MB)
+    assert fh0 in cache
+    assert fh1 not in cache
+
+
+def test_dirty_entries_survive_and_count_overruns():
+    env, cache = make_cache(2 * MB)
+    fh0 = install(env, cache, 0, 1 * MB)
+    fh1 = install(env, cache, 1, 1 * MB)
+    run(env, cache.write(fh0, 0, b"x" * 4096))
+    run(env, cache.write(fh1, 0, b"y" * 4096))
+    # Growing a dirty entry past the budget with no clean victims left:
+    # the write burst is allowed to overrun until the channel uploads.
+    run(env, cache.write(fh1, 1 * MB, b"z" * (512 * 1024)))
+    assert fh0 in cache and fh1 in cache      # never evict modifications
+    assert cache.budget_overruns >= 1
+    assert cache.bytes_cached > 2 * MB        # allowed to overrun
+
+    # Once the channel uploads and marks them clean, the budget
+    # re-enforces on the next cache activity.
+    cache.mark_clean(fh0)
+    cache.mark_clean(fh1)
+    install(env, cache, 3, 1 * MB)
+    assert cache.bytes_cached <= 2 * MB
+
+
+def test_local_write_growth_charged_against_budget():
+    env, cache = make_cache(2 * MB)
+    fh0 = install(env, cache, 0, 1 * MB)
+    fh1 = install(env, cache, 1, 1 * MB)
+    # Appending past EOF grows the dirty entry beyond the budget: the
+    # other (clean) entry is evicted to compensate.
+    run(env, cache.write(fh1, 1 * MB, b"z" * (512 * 1024)))
+    assert fh1 in cache
+    assert fh0 not in cache
+    assert cache.evictions == 1

@@ -1,0 +1,46 @@
+"""Coopbench driver smoke tests (single quick cells) plus the
+faultbench/fluid composition added alongside cooperative caching."""
+
+import pytest
+
+from repro.experiments.coopbench import _run_coop_cell
+from repro.experiments.faultbench import check_report, run_faultbench
+
+
+def test_cooperative_cell_beats_siloed_peers():
+    coop = _run_coop_cell("cooperative", depth=1, n_peers=2, quick=True)
+    silo = _run_coop_cell("inclusive", depth=1, n_peers=2, quick=True)
+    assert coop["integrity_ok"] and silo["integrity_ok"]
+    assert coop["peer_hits"] > 0
+    assert coop["directory"]["hits"] == coop["peer_hits"]
+    # The point of the peer directory: the cold storm crosses the WAN
+    # once per block, not once per peer.
+    coop_cold, silo_cold = coop["phases"][0], silo["phases"][0]
+    assert coop_cold["phase"] == silo_cold["phase"] == "cold_storm"
+    assert coop_cold["wan_bytes"] < silo_cold["wan_bytes"]
+    assert coop_cold["makespan_s"] < silo_cold["makespan_s"]
+
+
+def test_exclusive_cell_demotes_and_stays_correct():
+    cell = _run_coop_cell("exclusive", depth=2, n_peers=1, quick=True)
+    assert cell["integrity_ok"]
+    assert cell["demotions_out"] > 0
+    assert cell["demotions_in"] <= cell["demotions_out"]
+    assert cell["peer_hits"] == 0            # no directory in this mode
+
+
+def test_faultbench_composes_with_fluid_links():
+    report = run_faultbench(scenarios=["wan_blip"], quick=True,
+                            link_mode="fluid")
+    assert report["link_mode"] == "fluid"
+    blip = report["scenarios"]["wan_blip"]
+    assert blip["integrity_ok"]
+    assert blip["outages"] >= 1              # the fault actually fired
+    assert blip["replay_identical"]
+    assert check_report(report) == []
+
+
+def test_faultbench_rejects_unknown_link_mode():
+    with pytest.raises(ValueError):
+        run_faultbench(scenarios=["wan_blip"], quick=True,
+                       link_mode="plasma")

@@ -199,3 +199,57 @@ def test_bulk_rejects_negative_size():
     env.process(proc(env))
     with pytest.raises(ValueError):
         env.run()
+
+
+# -- outage history demotes the fast path ----------------------------------
+
+def test_outage_history_permanently_demotes_fluid_link():
+    env = Environment()
+    link = Link(env, latency=0.010, bandwidth=1e6, mode=LinkMode.FLUID)
+    assert link.fluid_ready
+    link.fail()
+    assert not link.fluid_ready
+    link.restore()
+    # Recovery restores traffic, not the fluid fast path: one outage
+    # means the exact store-and-forward model from here on.
+    assert not link.fluid_ready
+    assert link.mode is LinkMode.FLUID       # configuration unchanged
+
+
+def test_post_outage_traffic_matches_exact_semantics():
+    def outage_times(mode):
+        env = Environment()
+        link = Link(env, latency=0.010, bandwidth=1e6, mode=mode)
+        link.fail()
+        link.restore()
+        times = []
+        for delay, nbytes in [(0.0, 8192), (0.0, 8192), (0.001, 32768)]:
+            def sender(env, delay=delay, nbytes=nbytes):
+                yield env.timeout(delay)
+                yield env.process(link.transmit(nbytes))
+                times.append(env.now)
+            env.process(sender(env))
+        env.run()
+        return times
+
+    assert outage_times(LinkMode.FLUID) == outage_times(LinkMode.EXACT)
+
+
+def test_bulk_falls_back_after_an_outage_heals():
+    def bulk_time(outage):
+        env = Environment()
+        a = Link(env, latency=0.010, bandwidth=1e6, mode=LinkMode.FLUID)
+        if outage:
+            a.fail()
+            a.restore()
+        b = Link(env, latency=0.002, bandwidth=4e6,
+                 mode=LinkMode.FLUID if outage else LinkMode.EXACT)
+        route = Route([a, b])
+        times = []
+        _send(env, route, 100_000, times, n_messages=4)
+        env.run()
+        return times
+
+    # A healed-but-scarred hop forces the same exact store-and-forward
+    # path a mixed fluid/exact route takes.
+    assert bulk_time(outage=True) == bulk_time(outage=False)
