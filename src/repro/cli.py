@@ -20,6 +20,15 @@ Commands
     deterministic replay for a fixed seed.  ``--out
     results/BENCH_pr3.json`` archives the metrics; exit code 1 when a
     guarantee is violated (the CI fault-smoke gate).
+``chaosbench``
+    Run the layer-targeted chaos sweep: >= 24 seeded (layer x fault x
+    workload) cells on a cascade-with-peers rig, asserting zero
+    corrupted bytes served (the checksum layer catches and repairs
+    injected corruption), zero lost acknowledged writes, a layer-local
+    blast radius and bounded recovery — plus the checksum-off negative
+    control and the bit-identical happy-path timing check.  ``--out
+    results/BENCH_pr8.json`` archives the sweep; exit code 1 when a
+    guarantee is violated (the CI chaos-smoke gate).
 ``cascadebench``
     Sweep proxy-cache cascade depth (1-4) and eviction policy
     (lru/lfu/2q) over cold-clone and kernel-compile workloads,
@@ -245,6 +254,28 @@ def _cmd_faultbench(args) -> int:
     failures = faultbench.check_report(report)
     if failures:
         print("error: recovery guarantees violated:\n  "
+              + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_chaosbench(args) -> int:
+    from repro.experiments import chaosbench
+    try:
+        report = chaosbench.run_chaosbench(quick=args.quick, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(chaosbench.format_report(report))
+    if args.out:
+        import json
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"[written to {args.out}]")
+    failures = chaosbench.check_report(report)
+    if failures:
+        print("error: chaos guarantees violated:\n  "
               + "\n  ".join(failures), file=sys.stderr)
         return 1
     return 0
@@ -507,6 +538,25 @@ def build_parser() -> argparse.ArgumentParser:
                            "(e.g. results/BENCH_pr7.json)")
     _add_stack_report_flag(coop)
     coop.set_defaults(func=_cmd_coopbench)
+
+    chaos = sub.add_parser(
+        "chaosbench",
+        help="run the layer-targeted chaos sweep (corrupt frames, "
+             "blackholed/delayed/duplicated RPC procs, stalled and "
+             "dropped uploads) and check the integrity guarantees: "
+             "zero corrupted bytes served, zero lost acknowledged "
+             "writes, layer-local blast radius, bounded recovery, "
+             "deterministic replay")
+    chaos.add_argument("--seed", type=int, default=17, metavar="N",
+                       help="sweep seed (same seed => same cells, same "
+                            "timelines)")
+    chaos.add_argument("--quick", action="store_true",
+                       help="shrunken workloads (CI smoke scale)")
+    chaos.add_argument("--out", default=None, metavar="FILE",
+                       help="write the sweep as JSON "
+                            "(e.g. results/BENCH_pr8.json)")
+    _add_stack_report_flag(chaos)
+    chaos.set_defaults(func=_cmd_chaosbench)
 
     fleet = sub.add_parser(
         "fleetbench",

@@ -138,7 +138,8 @@ class ProxyBlockCache:
         # of a non-cooperative proxy is untouched).  ``observers`` get
         # told when a clean block becomes shareable or stops being so
         # (see PeerCacheDirectory in repro.net.topology, duck-typed:
-        # block_published / block_retracted / cache_cleared).  With
+        # block_published / block_retracted / cache_cleared, plus
+        # cache_crashed for observers that distinguish a crash).  With
         # ``capture_clean_victims`` set, eviction reads *clean* victims
         # back and hands them to the caller like dirty ones, so a
         # cascade level can demote them upstream instead of dropping
@@ -384,6 +385,18 @@ class ProxyBlockCache:
         for obs in self.observers:
             obs.cache_cleared()
 
+    def _notify_crashed(self) -> None:
+        # Crash is a distinct observer event from an orderly clear: a
+        # peer directory must also release any in-flight borrow this
+        # member was the designated fetcher for.  Observers predating
+        # the distinction fall back to the clear notification.
+        for obs in self.observers:
+            crashed = getattr(obs, "cache_crashed", None)
+            if crashed is not None:
+                crashed()
+            else:
+                obs.cache_cleared()
+
     def read_cached(self, key: BlockKey) -> Generator:
         """Process: read a clean cached block on behalf of a peer proxy.
 
@@ -410,6 +423,54 @@ class ProxyBlockCache:
         self.peer_reads += 1
         length = bank.lengths[frame_index]
         return data if length == len(data) else data[:length]
+
+    def corrupt_frame(self, key: BlockKey) -> bool:
+        """Garble a cached frame's on-disk bytes, leaving its tag valid.
+
+        Fault injection only (untimed, mutates the bank file directly):
+        this is the silent-corruption case — a later lookup serves the
+        garbled bytes as a perfectly ordinary hit, which only an
+        end-to-end check above the cache can catch.  Corrupting a
+        *dirty* frame also makes its journal record's crc stale, so
+        recovery will discard exactly that record.  Returns whether a
+        frame was actually garbled.
+        """
+        where = self._where.get(key)
+        if where is None:
+            return False
+        bank_index, frame_index = where
+        bank = self._banks[bank_index]
+        length = bank.lengths[frame_index]
+        if length == 0:
+            return False
+        offset = self._frame_offset(frame_index)
+        data = bank.inode.data.read(offset, length)
+        head = bytes(b ^ 0xFF for b in data[:64])
+        bank.inode.data.write(offset, head + data[64:])
+        return True
+
+    def discard(self, key: BlockKey) -> bool:
+        """Drop one *clean* cached frame (checksum-repair refetch path).
+
+        Untimed tag surgery: the frame becomes free, observers see a
+        retraction so no peer is pointed at the dropped copy.  Dirty
+        frames are refused — they hold the only copy of the data.
+        Returns whether the frame was dropped.
+        """
+        where = self._where.get(key)
+        if where is None:
+            return False
+        bank_index, frame_index = where
+        bank = self._banks[bank_index]
+        if bank.dirty[frame_index]:
+            return False
+        bank.keys[frame_index] = None
+        bank.lengths[frame_index] = 0
+        bank.lru[frame_index] = 0
+        del self._where[key]
+        if self.observers:
+            self._notify_retracted(key)
+        return True
 
     def iter_clean_keys(self) -> List[BlockKey]:
         """Snapshot of every clean cached key, in deterministic order —
@@ -524,7 +585,7 @@ class ProxyBlockCache:
         self.dirty_frames = 0
         self._journal_live.clear()
         if self.observers:
-            self._notify_cleared()
+            self._notify_crashed()
         if self.journal_enabled:
             # Re-derive the append position from the surviving file.
             self._journal_offset = self._journal_inode.data.size

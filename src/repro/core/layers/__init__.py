@@ -13,6 +13,7 @@ test).
 from repro.core.layers.attrs import AttrPatchLayer
 from repro.core.layers.base import ProxyLayer
 from repro.core.layers.blocks import BlockCacheLayer
+from repro.core.layers.checksum import ChecksumLayer, ChecksumRegistry
 from repro.core.layers.degraded import DegradedModeLayer
 from repro.core.layers.filechannel import FileChannelLayer
 from repro.core.layers.peers import PeerCacheLayer
@@ -34,6 +35,8 @@ from repro.core.layers.zeromap import ZeroMapLayer
 __all__ = [
     "AttrPatchLayer",
     "BlockCacheLayer",
+    "ChecksumLayer",
+    "ChecksumRegistry",
     "DegradedModeLayer",
     "FileChannelLayer",
     "LEGACY_COUNTERS",

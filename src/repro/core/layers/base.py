@@ -26,6 +26,14 @@ The layer contract:
   attribute ``Stats``; the stack aggregates them into the legacy flat
   :class:`~repro.core.layers.stack.ProxyStats` view and into
   ``stats_snapshot()`` / ``format_stack_report()``.
+* ``inject_fault(kind, arg)`` is the **fault port**: the chaos
+  machinery (:mod:`repro.sim.faults`, :mod:`repro.sim.chaos`) strikes
+  a named layer through it.  Layers opt in per kind; the base class
+  implements the per-RPC-procedure kinds (blackhole / delay /
+  duplicate / restore) for subclasses that set ``FAULT_PROCS`` and
+  call ``apply_proc_faults`` from their ``handle``.  A layer with no
+  armed faults adds **zero** events — ``proc_faults`` stays ``None``
+  until the first injection, so the happy path is one attribute test.
 
 Layers are wired by :meth:`ProxyStack.__init__`, which calls
 ``attach(stack, next_layer)``; ``self.stack`` gives access to shared
@@ -55,11 +63,17 @@ class ProxyLayer:
     ROLE: str = "layer"
     #: Dataclass of this layer's counters (None = the layer keeps none).
     Stats: Optional[type] = None
+    #: Subclasses that route RPCs through ``apply_proc_faults`` set this
+    #: so the base fault port accepts the per-proc fault kinds.
+    FAULT_PROCS: bool = False
 
     def __init__(self):
         self.stack = None
         self.next: Optional[ProxyLayer] = None
         self.stats = self.Stats() if self.Stats is not None else None
+        # Per-proc fault state, armed lazily by inject_fault: proc name
+        # -> {"gate": Event|None, "delay": float, "duplicate": bool}.
+        self.proc_faults: Optional[Dict[str, dict]] = None
 
     def attach(self, stack, next_layer: Optional["ProxyLayer"]) -> None:
         """Wire this layer into ``stack`` above ``next_layer``."""
@@ -84,6 +98,81 @@ class ProxyLayer:
         The default pass-through adds no simulation events.
         """
         return (yield from self.next.handle(request))
+
+    # ------------------------------------------------------------- fault port
+    def inject_fault(self, kind: str, arg=None) -> None:
+        """Synchronous: apply a layer-scoped fault (or its repair).
+
+        The base class implements the per-proc kinds for layers that
+        set ``FAULT_PROCS``; subclasses extend this for kinds that only
+        make sense against their own state (e.g. ``corrupt-frame`` on a
+        block cache) and delegate unknown kinds back here.
+        """
+        if not self.FAULT_PROCS:
+            raise ValueError(
+                f"layer {self.ROLE!r} accepts no fault kind {kind!r}")
+        if kind == "blackhole-proc":
+            fault = self._proc_fault(str(arg))
+            if fault.get("gate") is None:
+                fault["gate"] = self.env.event()
+        elif kind == "restore-proc":
+            self._clear_proc_fault(str(arg))
+        elif kind == "delay-proc":
+            proc, delay = arg
+            self._proc_fault(str(proc))["delay"] = float(delay)
+        elif kind == "duplicate-proc":
+            self._proc_fault(str(arg))["duplicate"] = True
+        else:
+            raise ValueError(
+                f"layer {self.ROLE!r} accepts no fault kind {kind!r}")
+
+    def _proc_fault(self, proc: str) -> dict:
+        if self.proc_faults is None:
+            self.proc_faults = {}
+        return self.proc_faults.setdefault(proc, {})
+
+    def _clear_proc_fault(self, proc: str) -> None:
+        if self.proc_faults is None:
+            return
+        fault = self.proc_faults.pop(proc, None)
+        if fault:
+            gate = fault.get("gate")
+            if gate is not None and not gate.triggered:
+                gate.succeed()
+        if not self.proc_faults:
+            self.proc_faults = None
+
+    def apply_proc_faults(self, request) -> Generator:
+        """Process: park, delay, or flag duplication for ``request``.
+
+        Returns True when the caller should deliver the request twice
+        (the duplicate flag is one-shot).  A blackholed proc parks here
+        until ``restore-proc`` releases the gate — from the remote
+        caller's perspective the RPC has vanished, and its own timeout
+        ladder decides when to give up.  With no armed faults this is
+        one dict probe and zero events.
+        """
+        fault = (self.proc_faults.get(request.proc.name)
+                 if self.proc_faults else None)
+        if fault is None:
+            return False
+        gate = fault.get("gate")
+        if gate is not None:
+            self._bump_fault("procs_blackholed")
+            yield gate
+        delay = fault.get("delay")
+        if delay:
+            self._bump_fault("procs_delayed")
+            yield self.env.timeout(delay)
+        if fault.get("duplicate"):
+            fault["duplicate"] = False
+            self._bump_fault("procs_duplicated")
+            return True
+        return False
+
+    def _bump_fault(self, name: str) -> None:
+        if self.stats is not None and hasattr(self.stats, name):
+            setattr(self.stats, name, getattr(self.stats, name) + 1)
 
     # -------------------------------------------------------------- lifecycle
     def flush(self) -> Generator:

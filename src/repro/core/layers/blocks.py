@@ -34,9 +34,12 @@ from repro.core.layers.base import ProxyLayer
 from repro.nfs.protocol import (FileHandle, NfsError, NfsProc, NfsReply,
                                 NfsRequest, NfsStatus)
 from repro.nfs.rpc import RpcTimeout
-from repro.sim import AllOf
+from repro.sim import AllOf, AnyOf
 
 __all__ = ["BlockCacheLayer"]
+
+#: Sentinel distinguishing the demote deadline from a (None) failed send.
+_DEMOTE_LOST = object()
 
 
 @dataclass
@@ -53,7 +56,12 @@ class BlockCacheStats:
     demotions_out: int = 0          # clean victims DEMOTEd to the next level
     demotions_in: int = 0           # demoted blocks absorbed from below
     demotion_drops: int = 0         # demotes refused or failed (best-effort)
+    demotion_timeouts: int = 0      # demotes abandoned at the send deadline
     bypassed_requests: int = 0      # requests passed through while bypassed
+    frames_corrupted: int = 0       # cached frames garbled by fault injection
+    procs_blackholed: int = 0       # incoming RPCs parked by a blackhole fault
+    procs_delayed: int = 0          # incoming RPCs slowed by a delay fault
+    procs_duplicated: int = 0       # incoming RPCs delivered twice by a fault
 
 
 class BlockCacheLayer(ProxyLayer):
@@ -61,6 +69,10 @@ class BlockCacheLayer(ProxyLayer):
 
     ROLE = "block-cache"
     Stats = BlockCacheStats
+    FAULT_PROCS = True
+    #: Seconds a demote send may spend before being abandoned (a clean
+    #: victim is re-fetchable; an outage must not wedge the eviction).
+    DEMOTE_DEADLINE = 2.0
 
     def __init__(self, block_cache):
         super().__init__()
@@ -99,8 +111,43 @@ class BlockCacheLayer(ProxyLayer):
         return (self.config.cache is not None
                 and self.config.cache.policy is CachePolicy.WRITE_BACK)
 
+    # ------------------------------------------------------------- fault port
+    def inject_fault(self, kind: str, arg=None) -> None:
+        """Corrupt one cached frame in place, or arm per-proc faults.
+
+        ``corrupt-frame`` garbles the ``arg``-th (mod population, so a
+        seeded sweep never misses) clean cached frame on disk — the
+        cache tag stays valid, exactly the silent-corruption case an
+        end-to-end checksum must catch.  The per-proc kinds matter here
+        because DEMOTE enters a stack through its front door and is
+        routed to this layer, bypassing the sender's terminal.
+        """
+        if kind == "corrupt-frame":
+            keys = self.block_cache.iter_clean_keys()
+            if not keys:
+                return
+            key = keys[(arg or 0) % len(keys)]
+            if self.block_cache.corrupt_frame(key):
+                self.stats.frames_corrupted += 1
+            return
+        super().inject_fault(kind, arg)
+
+    def discard_block(self, key) -> bool:
+        """Drop one clean cached block (checksum-repair refetch path)."""
+        return self.block_cache.discard(key)
+
     # ------------------------------------------------------------------ handle
     def handle(self, request) -> Generator:
+        if self.proc_faults is not None:
+            duplicate = yield from self.apply_proc_faults(request)
+            if duplicate:
+                # Deliver the duplicate first and drop its reply — the
+                # caller sees only the second, like a retransmission
+                # whose original also arrived.
+                yield from self._route(request)
+        return (yield from self._route(request))
+
+    def _route(self, request) -> Generator:
         proc = request.proc
         if proc is NfsProc.DEMOTE:
             return (yield from self._handle_demote(request))
@@ -301,23 +348,40 @@ class BlockCacheLayer(ProxyLayer):
 
         Best effort: a lost demote costs a future refetch, never
         correctness, so upstream failures are swallowed rather than
-        propagated into whatever I/O triggered the eviction.
+        propagated into whatever I/O triggered the eviction.  The send
+        is bounded by ``DEMOTE_DEADLINE`` even when the upstream client
+        has no timeout of its own (the session default): a demote stuck
+        behind a dead link is abandoned — and counted, not absorbed —
+        instead of wedging the eviction that triggered it.
         """
         if not self.demote_enabled:
             return
         fh, idx = key
-        try:
-            reply = yield from self.stack.upstream.call(NfsRequest(
-                NfsProc.DEMOTE, fh=fh,
-                offset=idx * self.stack.block_size(), data=data,
-                stable=False, credentials=self.config.identity or (0, 0)))
-        except (RpcTimeout, NfsError):
+        request = NfsRequest(
+            NfsProc.DEMOTE, fh=fh,
+            offset=idx * self.stack.block_size(), data=data,
+            stable=False, credentials=self.config.identity or (0, 0))
+        attempt = self.env.process(self._demote_call(request),
+                                   name=f"demote-{idx}")
+        timer = self.env.timeout(self.DEMOTE_DEADLINE, value=_DEMOTE_LOST)
+        outcome = yield AnyOf(self.env, [attempt, timer])
+        if outcome is _DEMOTE_LOST:
+            if attempt.is_alive:
+                attempt.interrupt("demote deadline")
+            self.stats.demotion_timeouts += 1
             self.stats.demotion_drops += 1
             return
-        if reply.ok:
+        if outcome is not None and outcome.ok:
             self.stats.demotions_out += 1
         else:
             self.stats.demotion_drops += 1
+
+    def _demote_call(self, request) -> Generator:
+        """Process: one demote send; upstream failure maps to None."""
+        try:
+            return (yield from self.stack.upstream.call(request))
+        except (RpcTimeout, NfsError):
+            return None
 
     def _handle_demote(self, request) -> Generator:
         """Process: absorb a block demoted by the cache one level down.

@@ -24,6 +24,9 @@ class FileChannelStats:
     file_cache_reads: int = 0   # reads served from the whole-file cache
     channel_fetches: int = 0    # action lists executed (one per file fetch)
     absorbed_writes: int = 0    # writes kept local in the file cache
+    stalled_uploads: int = 0    # uploads parked on a stall fault
+    dropped_uploads: int = 0    # uploads lost to a drop fault (entry stays
+                                # dirty, so a later flush retries it)
 
 
 class FileChannelLayer(ProxyLayer):
@@ -37,6 +40,24 @@ class FileChannelLayer(ProxyLayer):
         self.channel = channel
         # fh -> in-progress channel fetch gate (concurrent READs wait).
         self.fetching: Dict[FileHandle, object] = {}
+        # Fault-injection state: a gate parking flush uploads, and a
+        # count of upcoming uploads to lose on the floor.
+        self._upload_gate = None
+        self._drop_uploads = 0
+
+    # ------------------------------------------------------------- fault port
+    def inject_fault(self, kind: str, arg=None) -> None:
+        if kind == "stall-uploads":
+            if self._upload_gate is None:
+                self._upload_gate = self.env.event()
+        elif kind == "resume-uploads":
+            gate, self._upload_gate = self._upload_gate, None
+            if gate is not None and not gate.triggered:
+                gate.succeed()
+        elif kind == "drop-upload":
+            self._drop_uploads += int(arg or 1)
+        else:
+            super().inject_fault(kind, arg)
 
     @property
     def file_cache(self):
@@ -109,6 +130,19 @@ class FileChannelLayer(ProxyLayer):
     # --------------------------------------------------------------- lifecycle
     def flush(self) -> Generator:
         for entry in self.file_cache.dirty_entries():
+            if self._upload_gate is not None:
+                # Stalled by fault injection: park until resumed.  The
+                # entry stays dirty the whole time, so a crash mid-stall
+                # loses nothing that was ever acknowledged as flushed.
+                self.stats.stalled_uploads += 1
+                yield self._upload_gate
+            if self._drop_uploads > 0:
+                # Lost upload: skip the channel send but leave the entry
+                # dirty — the next flush retries, so the write is late,
+                # never lost.
+                self._drop_uploads -= 1
+                self.stats.dropped_uploads += 1
+                continue
             yield from self.channel.upload(entry.fh)
 
     def crash(self) -> None:
@@ -116,6 +150,9 @@ class FileChannelLayer(ProxyLayer):
             if not gate.triggered:
                 gate.succeed()
         self.fetching.clear()
+        gate, self._upload_gate = self._upload_gate, None
+        if gate is not None and not gate.triggered:
+            gate.succeed()
         # Whole-file cache state (and any dirty entries) dies with the
         # process; the journal covers block-cache writes only.
         self.file_cache.clear()

@@ -42,6 +42,10 @@ class PeerCacheStats:
     peer_misses: int = 0       # lookups with no owner; went upstream
     peer_stale: int = 0        # owner listed but block gone on arrival
     peer_bytes: int = 0        # payload bytes served peer-to-peer
+    peer_suppressed: int = 0   # borrows skipped during checksum repair
+    procs_blackholed: int = 0  # borrows parked by a blackhole fault
+    procs_delayed: int = 0     # borrows slowed by a delay fault
+    procs_duplicated: int = 0  # (unused; duplication targets RPC layers)
 
 
 class PeerCacheLayer(ProxyLayer):
@@ -49,16 +53,25 @@ class PeerCacheLayer(ProxyLayer):
 
     ROLE = "peer-cache"
     Stats = PeerCacheStats
+    FAULT_PROCS = True
 
     def __init__(self, member):
         super().__init__()
         #: This proxy's membership handle in the site's peer-cache
         #: directory (opaque; created by ``PeerCacheDirectory.join``).
         self.member = member
+        #: Keys the checksum layer is re-fetching after a corruption
+        #: catch: a peer's copy is the prime suspect, so borrowing is
+        #: suppressed and the refetch goes to the upstream of record.
+        self.suppressed = set()
 
     def handle(self, request) -> Generator:
         if request.proc is not NfsProc.READ:
             return (yield from self.next.handle(request))
+        if self.proc_faults is not None:
+            # Delay / blackhole the peer-borrow path (a READ reaching
+            # this layer is exactly a borrow candidate).
+            yield from self.apply_proc_faults(request)
         # Only whole-block fetches are candidates — exactly what the
         # block-cache and readahead layers above emit on a miss.  A
         # peer's cache stores whole frames, so nothing else can hit.
@@ -66,6 +79,9 @@ class PeerCacheLayer(ProxyLayer):
         fh, offset, count = request.fh, request.offset, request.count
         idx, within = divmod(offset, bs)
         if within or count != bs:
+            return (yield from self.next.handle(request))
+        if (fh, idx) in self.suppressed:
+            self.stats.peer_suppressed += 1
             return (yield from self.next.handle(request))
         data, owner_found = yield from self.member.borrow((fh, idx))
         if data is None:

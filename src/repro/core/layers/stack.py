@@ -145,17 +145,24 @@ class ProxyStats:
 
 
 def standard_layers(block_cache=None, channel=None,
-                    peer_member=None) -> List[ProxyLayer]:
+                    peer_member=None, checksum=None) -> List[ProxyLayer]:
     """The canonical GVFS composition: attr patching and meta-data on
-    top, optional file-channel and block-cache/readahead caching in the
-    middle, the fault guard, the optional peer-cache lookup, and the
-    upstream hop at the bottom.
+    top, optional end-to-end checksum recording/verification, optional
+    file-channel and block-cache/readahead caching in the middle, the
+    fault guard, the optional peer-cache lookup, and the upstream hop
+    at the bottom.
 
     The peer layer sits below the fault guard so both demand misses
     (``guarded_fetch`` re-enters below the cache) and readahead window
-    fetches consult same-site peers before crossing the WAN.
+    fetches consult same-site peers before crossing the WAN.  The
+    checksum layer (a pre-built
+    :class:`~repro.core.layers.checksum.ChecksumLayer`) sits *above*
+    every cache, so a verify instance checks blocks however they got
+    here — local frame, cascade level, peer borrow, or demotion.
     """
     layers: List[ProxyLayer] = [AttrPatchLayer(), ZeroMapLayer()]
+    if checksum is not None:
+        layers.append(checksum)
     if channel is not None:
         layers.append(FileChannelLayer(channel))
     if block_cache is not None:

@@ -5,6 +5,13 @@ stack's upstream RPC client (an SSH tunnel to the next proxy in the
 cascade, or a loopback to the kernel server).  The upstream client is
 looked up on the stack at call time, so middleware (and tests) can
 swap or harden it live.
+
+This is also the natural place to fault a single RPC procedure on the
+upstream hop — blackhole every READ, delay COMMITs — so the terminal
+opts into the per-proc fault port (``FAULT_PROCS``).  Note DEMOTE does
+not pass through the *sender's* terminal (demotion calls the upstream
+client directly); DEMOTE faults belong on the receiving block-cache
+layer instead.
 """
 
 from __future__ import annotations
@@ -19,7 +26,10 @@ __all__ = ["UpstreamRpcLayer"]
 
 @dataclass
 class UpstreamRpcStats:
-    forwarded: int = 0      # requests that went upstream on the wire
+    forwarded: int = 0          # requests that went upstream on the wire
+    procs_blackholed: int = 0   # requests parked by a blackhole fault
+    procs_delayed: int = 0      # requests slowed by a delay fault
+    procs_duplicated: int = 0   # requests sent twice by a dup fault
 
 
 class UpstreamRpcLayer(ProxyLayer):
@@ -27,8 +37,17 @@ class UpstreamRpcLayer(ProxyLayer):
 
     ROLE = "upstream-rpc"
     Stats = UpstreamRpcStats
+    FAULT_PROCS = True
 
     def handle(self, request) -> Generator:
+        if self.proc_faults is not None:
+            duplicate = yield from self.apply_proc_faults(request)
+            if duplicate:
+                # The extra delivery goes first and its reply is
+                # discarded — the caller sees only the second, like a
+                # retransmitted RPC whose original also landed.
+                self.stats.forwarded += 1
+                yield from self.stack.upstream.call(request)
         self.stats.forwarded += 1
         reply = yield from self.stack.upstream.call(request)
         return reply

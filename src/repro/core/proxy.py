@@ -53,13 +53,14 @@ class GvfsProxy(ProxyStack):
                  config: ProxyConfig = ProxyConfig(),
                  block_cache: Optional[ProxyBlockCache] = None,
                  channel: Optional[FileChannel] = None,
-                 peer_member=None):
+                 peer_member=None, checksum=None):
         if config.cache is not None and block_cache is None:
             raise ValueError("config requests a cache but none was attached")
         super().__init__(env, upstream, config,
                          standard_layers(block_cache=block_cache,
                                          channel=channel,
-                                         peer_member=peer_member))
+                                         peer_member=peer_member,
+                                         checksum=checksum))
 
     # ----------------------------------------------------- legacy state views
     @property

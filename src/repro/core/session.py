@@ -31,6 +31,7 @@ from repro.core.config import (
 )
 from repro.core.consistency import MiddlewareConsistency
 from repro.core.filecache import ProxyFileCache
+from repro.core.layers.checksum import ChecksumLayer
 from repro.core.proxy import GvfsProxy
 from repro.net.ssh import ScpTransfer, SshTunnel
 from repro.net.topology import Host, NetworkConditions, Testbed, resolve_profile
@@ -175,17 +176,24 @@ class ServerEndpoint:
     """
 
     def __init__(self, env: Environment, host: Host, fsid: str = "images",
-                 logical_identity=(1001, 1001)):
+                 logical_identity=(1001, 1001), integrity=None):
         self.env = env
         self.host = host
         self.export = host.local
         self.server = NfsServer(env, self.export, fsid=fsid)
         loop = LoopbackTransport(env)
+        # ``integrity`` (a ChecksumRegistry) adds a record-mode checksum
+        # layer at this origin-adjacent boundary: every block leaving or
+        # reaching the server of record is checksummed, so client-side
+        # verify instances have a truth to check against.
+        checksum = (ChecksumLayer(integrity, record=True)
+                    if integrity is not None else None)
         self.proxy = GvfsProxy(
             env,
             RpcClient(env, self.server, loop, loop, name=f"{fsid}.srvproxy"),
             ProxyConfig(name=f"{host.name}.server-proxy", metadata=False,
-                        identity=logical_identity))
+                        identity=logical_identity),
+            checksum=checksum)
 
     @property
     def root_fh(self) -> FileHandle:
@@ -205,7 +213,7 @@ class ServerEndpoint:
 def build_caching_proxy(env: Environment, upstream: RpcClient, *, name: str,
                         cache_config: ProxyCacheConfig, block_cache,
                         channel, metadata: bool = True,
-                        peer_member=None) -> GvfsProxy:
+                        peer_member=None, integrity=None) -> GvfsProxy:
     """One caching GVFS proxy: the standard layer stack (attr patching,
     zero-map meta-data, file channel, block cache + readahead, fault
     guard, upstream RPC) over ``upstream``.
@@ -214,13 +222,18 @@ def build_caching_proxy(env: Environment, upstream: RpcClient, *, name: str,
     LAN cache, an N-th level — is this same composition; only the
     upstream RPC client (the next hop) and the cache objects differ.
     ``peer_member`` (a ``PeerCacheDirectory.join`` handle) inserts the
-    cooperative peer-cache lookup below the fault guard.
+    cooperative peer-cache lookup below the fault guard.  ``integrity``
+    (a ``ChecksumRegistry`` shared with a record-mode endpoint) inserts
+    a verify-mode checksum layer above the caches, so every full-block
+    read is checked end to end before it reaches the client.
     """
+    checksum = (ChecksumLayer(integrity, verify=True)
+                if integrity is not None else None)
     return GvfsProxy(env, upstream,
                      ProxyConfig(name=name, cache=cache_config,
                                  metadata=metadata, **pipeline_overrides()),
                      block_cache=block_cache, channel=channel,
-                     peer_member=peer_member)
+                     peer_member=peer_member, checksum=checksum)
 
 
 def direct_file_channel(env: Environment, endpoint: ServerEndpoint,
@@ -534,7 +547,8 @@ class GvfsSession:
               shared_block_cache: Optional[ProxyBlockCache] = None,
               peer_directory=None,
               exclusive: bool = False,
-              file_cache_capacity: Optional[int] = None
+              file_cache_capacity: Optional[int] = None,
+              integrity=None
               ) -> "GvfsSession":
         """Wire a session for ``scenario`` on compute node ``compute_index``.
 
@@ -556,6 +570,11 @@ class GvfsSession:
         cascade demotion: the client proxy hands clean eviction victims
         to its upstream cache level (a no-op when the upstream is the
         cacheless server endpoint, so depth-1 behavior is unchanged).
+
+        ``integrity`` (a ``ChecksumRegistry``, WAN_CACHED only) inserts
+        a verify-mode checksum layer at the top of the client proxy;
+        pair it with an endpoint built with the same registry so there
+        are origin-recorded checksums to verify against.
         """
         env = testbed.env
         n = next(_session_counter)
@@ -625,7 +644,7 @@ class GvfsSession:
                 env, upstream, name=f"s{n}.client-proxy",
                 cache_config=cache_config, block_cache=block_cache,
                 channel=channel, metadata=metadata,
-                peer_member=peer_member)
+                peer_member=peer_member, integrity=integrity)
             if exclusive:
                 client_proxy.layer("block-cache").arm_demotion()
             loop = LoopbackTransport(env)

@@ -117,9 +117,9 @@ class PeerMember:
     """One proxy's membership in a site's peer-cache directory.
 
     Doubles as the block cache's observer (``block_published`` /
-    ``block_retracted`` / ``cache_cleared``), relaying ownership changes
-    into the directory, and as the handle the proxy's peer-cache layer
-    borrows through.  Fully duck-typed on the cache object — the
+    ``block_retracted`` / ``cache_cleared`` / ``cache_crashed``),
+    relaying ownership changes into the directory, and as the handle
+    the proxy's peer-cache layer borrows through.  Fully duck-typed on the cache object — the
     network package never imports :mod:`repro.core`.
     """
 
@@ -140,6 +140,12 @@ class PeerMember:
 
     def cache_cleared(self) -> None:
         self.directory._retract_all(self)
+
+    def cache_crashed(self) -> None:
+        # The proxy process died: beyond retracting its advertisements,
+        # the directory must stop waiting on any WAN fetch this member
+        # was the designated fetcher for.
+        self.directory.retire(self)
 
     # -- the borrow face used by the proxy's peer-cache layer ----------------
     def borrow(self, key):
@@ -187,10 +193,11 @@ class PeerCacheDirectory:
         self.members: List[PeerMember] = []
         # key -> owners, in deterministic registration order.
         self._owners: Dict = {}
-        # key -> publication gate: set when the directory told a member
-        # "nobody has it" (that member becomes the site's designated
-        # WAN fetcher); later askers wait on the gate instead of
-        # duplicating the fetch.
+        # key -> (fetcher, publication gate): set when the directory
+        # told a member "nobody has it" (that member becomes the site's
+        # designated WAN fetcher); later askers wait on the gate instead
+        # of duplicating the fetch.  Recording the fetcher lets a crash
+        # release exactly its gates (see :meth:`retire`).
         self._pending: Dict = {}
         self._routes: Dict = {}
         # Statistics
@@ -201,6 +208,7 @@ class PeerCacheDirectory:
         self.coalesced = 0
         self.pending_timeouts = 0
         self.bytes_served = 0
+        self.retirements = 0
 
     def join(self, name: str, host: Host, block_cache) -> PeerMember:
         """Register a proxy's block cache; returns its member handle.
@@ -227,9 +235,9 @@ class PeerCacheDirectory:
             self._owners[key] = [member]
         elif member not in owners:
             owners.append(member)
-        gate = self._pending.pop(key, None)
-        if gate is not None and not gate.triggered:
-            gate.succeed()
+        pending = self._pending.pop(key, None)
+        if pending is not None and not pending[1].triggered:
+            pending[1].succeed()
 
     def _retract(self, member: PeerMember, key) -> None:
         owners = self._owners.get(key)
@@ -243,6 +251,24 @@ class PeerCacheDirectory:
                 if member in owners]
         for key in dead:
             self._retract(member, key)
+
+    def retire(self, member: PeerMember) -> None:
+        """A member's proxy crashed: drop its advertisements *and*
+        release every borrow gate it was the designated fetcher for.
+
+        Waiters on a released gate re-query, find no owner, and fall
+        through to their own upstream — a crash costs them one retry,
+        never a :attr:`PENDING_TIMEOUT` stall on a fetch that will
+        never be published.
+        """
+        self._retract_all(member)
+        stuck = [key for key, (fetcher, _) in self._pending.items()
+                 if fetcher is member]
+        for key in stuck:
+            _, gate = self._pending.pop(key)
+            if not gate.triggered:
+                gate.succeed()
+        self.retirements += 1
 
     def locate(self, key, exclude: Optional[PeerMember] = None):
         """First registered owner of ``key`` other than ``exclude``
@@ -288,19 +314,20 @@ class PeerCacheDirectory:
         yield from self._route(self.host, member.host).transmit(
             self.QUERY_BYTES)
         if owner is None:
-            gate = self._pending.get(key)
-            if gate is None:
+            pending = self._pending.get(key)
+            if pending is None:
                 # This member becomes the designated fetcher.
-                self._pending[key] = Event(self.env)
+                self._pending[key] = (member, Event(self.env))
                 self.misses += 1
                 return None, False
+            gate = pending[1]
             yield AnyOf(self.env, [gate,
                                    self.env.timeout(self.PENDING_TIMEOUT)])
             if not gate.triggered:
                 # The fetcher stalled (WAN fault, failed fetch): stop
                 # advertising it so the next asker takes over, and fall
                 # through to our own upstream.
-                if self._pending.get(key) is gate:
+                if self._pending.get(key) is pending:
                     del self._pending[key]
                 self.pending_timeouts += 1
                 self.misses += 1
@@ -340,7 +367,8 @@ class PeerCacheDirectory:
                 "misses": self.misses, "stale": self.stale,
                 "coalesced": self.coalesced,
                 "pending_timeouts": self.pending_timeouts,
-                "bytes_served": self.bytes_served}
+                "bytes_served": self.bytes_served,
+                "retirements": self.retirements}
 
 
 class Testbed:

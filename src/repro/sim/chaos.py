@@ -1,0 +1,60 @@
+"""Layer-targeted chaos helpers: name every layer of a proxy stack.
+
+:mod:`repro.sim.faults` executes plans against *named* targets; this
+module provides the naming convention for layered proxy stacks so a
+plan can say "corrupt a frame in ``l2/block-cache``" or "blackhole
+READ at ``peer0/upstream-rpc``" and replay it bit-identically.
+
+Everything here is duck-typed — a "stack" is anything with a
+``layers`` iterable of objects carrying a ``ROLE`` string and an
+``inject_fault(kind, arg)`` port (:class:`~repro.core.layers.base.
+ProxyLayer`).  ``repro.sim`` never imports ``repro.core``; the
+dependency points the other way.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.faults import FaultEvent, FaultKind, FaultPlan, LAYER_KINDS
+
+__all__ = ["attach_stack", "layer_fault", "layer_outage"]
+
+
+def attach_stack(injector, name: str, stack) -> List[str]:
+    """Attach every layer of ``stack`` to ``injector`` by role.
+
+    Each layer is registered as ``"{name}/{ROLE}"``; when a stack holds
+    two layers with the same role (a mirrored cache level, say) only
+    the first — the one closest to the client — gets the name, keeping
+    the mapping deterministic.  Returns the names attached, in stack
+    order, so a sweep can enumerate its own targets.
+    """
+    attached: List[str] = []
+    for layer in stack.layers:
+        target = f"{name}/{layer.ROLE}"
+        if target in attached:
+            continue
+        injector.attach(target, layer)
+        attached.append(target)
+    return attached
+
+
+def layer_fault(kind: FaultKind, target: str, at: float,
+                arg: object = None) -> FaultPlan:
+    """A one-event plan striking ``target``'s fault port at ``at``."""
+    if kind not in LAYER_KINDS:
+        raise ValueError(f"{kind} is not a layer-scoped fault kind")
+    return FaultPlan([FaultEvent(at, kind, target, arg)])
+
+
+def layer_outage(kind: FaultKind, target: str, at: float,
+                 down_for: float, arg: object = None) -> FaultPlan:
+    """A layer fault plus its paired repair ``down_for`` seconds later.
+
+    Only the self-repairing layer kinds (stall-uploads, blackhole-proc)
+    have a repair pair; ``FaultPlan.outage`` rejects the rest.
+    """
+    if kind not in LAYER_KINDS:
+        raise ValueError(f"{kind} is not a layer-scoped fault kind")
+    return FaultPlan.outage(kind, target, at, down_for, arg)

@@ -24,6 +24,15 @@ Targets are duck-typed per event kind:
   ``recover()`` *process* (:class:`~repro.core.proxy.GvfsProxy`);
   restart runs the recovery process to completion, so the time a
   journal replay takes shows up on the timeline.
+* the **layer-scoped** kinds (``CORRUPT_FRAME``, ``STALL_UPLOADS`` /
+  ``RESUME_UPLOADS``, ``DROP_UPLOAD``, ``BLACKHOLE_PROC`` /
+  ``RESTORE_PROC``, ``DELAY_PROC``, ``DUPLICATE_PROC``) — objects with
+  an ``inject_fault(kind, arg)`` fault port
+  (:class:`~repro.core.layers.base.ProxyLayer`; see
+  :mod:`repro.sim.chaos` for targeting helpers).  These strike one
+  named layer of one named proxy stack — a cached frame corrupted in
+  place, an upload stalled, a single RPC procedure blackholed — so a
+  chaos sweep can assert the degradation stays layer-local.
 
 Nothing here touches the happy path: a testbed with no injector
 attached schedules zero extra events.
@@ -38,7 +47,8 @@ from typing import Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.sim.engine import Environment, Process
 
-__all__ = ["FaultEvent", "FaultInjector", "FaultKind", "FaultPlan"]
+__all__ = ["FaultEvent", "FaultInjector", "FaultKind", "FaultPlan",
+           "LAYER_KINDS"]
 
 
 class FaultKind(enum.Enum):
@@ -50,23 +60,50 @@ class FaultKind(enum.Enum):
     SERVER_RESTART = "server-restart"
     PROXY_CRASH = "proxy-crash"
     PROXY_RESTART = "proxy-restart"
+    # Layer-scoped kinds, dispatched through the targeted object's
+    # ``inject_fault(kind, arg)`` fault port:
+    CORRUPT_FRAME = "corrupt-frame"         # block-cache: garble one frame
+    STALL_UPLOADS = "stall-uploads"         # file-channel: park uploads
+    RESUME_UPLOADS = "resume-uploads"       # file-channel: release them
+    DROP_UPLOAD = "drop-upload"             # file-channel: lose next upload(s)
+    BLACKHOLE_PROC = "blackhole-proc"       # swallow one RPC proc (arg=name)
+    RESTORE_PROC = "restore-proc"           # clear that proc's faults
+    DELAY_PROC = "delay-proc"               # arg=(proc name, seconds)
+    DUPLICATE_PROC = "duplicate-proc"       # deliver that proc twice
 
 
-#: Kind pairs that undo each other (used by the flap builders).
+#: Kinds executed through a target's ``inject_fault`` port rather than
+#: the coarse crash/restore protocols.
+LAYER_KINDS = frozenset({
+    FaultKind.CORRUPT_FRAME, FaultKind.STALL_UPLOADS,
+    FaultKind.RESUME_UPLOADS, FaultKind.DROP_UPLOAD,
+    FaultKind.BLACKHOLE_PROC, FaultKind.RESTORE_PROC,
+    FaultKind.DELAY_PROC, FaultKind.DUPLICATE_PROC,
+})
+
+#: Kind pairs that undo each other (used by the flap/outage builders).
 _REPAIR_OF = {
     FaultKind.LINK_DOWN: FaultKind.LINK_UP,
     FaultKind.SERVER_CRASH: FaultKind.SERVER_RESTART,
     FaultKind.PROXY_CRASH: FaultKind.PROXY_RESTART,
+    FaultKind.STALL_UPLOADS: FaultKind.RESUME_UPLOADS,
+    FaultKind.BLACKHOLE_PROC: FaultKind.RESTORE_PROC,
 }
 
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One scheduled failure or repair."""
+    """One scheduled failure or repair.
+
+    ``arg`` parameterizes the layer-scoped kinds (which frame to
+    corrupt, which RPC proc to blackhole, how long to delay); it must
+    be plain hashable data so plans stay comparable value objects.
+    """
 
     at: float
     kind: FaultKind
     target: str
+    arg: object = None
 
     def __post_init__(self):
         if self.at < 0:
@@ -102,15 +139,20 @@ class FaultPlan:
     # -- builders ----------------------------------------------------------
     @classmethod
     def outage(cls, kind: FaultKind, target: str, at: float,
-               down_for: float) -> "FaultPlan":
-        """One failure at ``at`` repaired ``down_for`` seconds later."""
+               down_for: float, arg: object = None) -> "FaultPlan":
+        """One failure at ``at`` repaired ``down_for`` seconds later.
+
+        ``arg`` rides on both the failure and the repair event, so a
+        blackholed RPC proc is restored by name and a stalled upload
+        gate is released with the same parameters it was armed with.
+        """
         if down_for <= 0:
             raise ValueError(f"down_for must be positive: {down_for}")
         repair = _REPAIR_OF.get(kind)
         if repair is None:
             raise ValueError(f"{kind} is a repair, not a failure")
-        return cls([FaultEvent(at, kind, target),
-                    FaultEvent(at + down_for, repair, target)])
+        return cls([FaultEvent(at, kind, target, arg),
+                    FaultEvent(at + down_for, repair, target, arg)])
 
     @classmethod
     def link_flap(cls, target: str, first_down: float, down_for: float,
@@ -229,6 +271,8 @@ class FaultInjector:
                 # proxy host's disk); it runs to completion here so its
                 # cost lands on the timeline.
                 yield self.env.process(obj.recover())
+            elif kind in LAYER_KINDS:
+                obj.inject_fault(kind.value, event.arg)
             else:  # pragma: no cover - enum is closed
                 raise ValueError(f"unknown fault kind {kind}")
         self.timeline.append((self.env.now, kind.value, event.target))

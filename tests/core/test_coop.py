@@ -22,6 +22,8 @@ from repro.core.session import (
 )
 from repro.net.topology import Testbed
 from repro.sim import Environment, run_islands
+from repro.sim.chaos import attach_stack, layer_outage
+from repro.sim.faults import FaultInjector, FaultKind
 from repro.vm.image import VmConfig, VmImage
 from tests.core.harness import SMALL_CACHE
 
@@ -320,3 +322,103 @@ def test_concurrent_misses_coalesce_on_the_designated_fetcher(no_readahead):
         s.client_proxy.upstream.stats.by_proc.get("READ", 0)
         for s in sessions)
     assert total_upstream == 1                   # one WAN fetch, not two
+
+
+# -- crash retirement and bounded demotion ----------------------------------
+
+def test_proxy_crash_retires_peer_advertisements(no_readahead):
+    """A crashed proxy's blocks must vanish from the directory at crash
+    time — a later asker goes straight upstream, never chasing a stale
+    advertisement into a dead cache."""
+    testbed, endpoint, image, directory, sessions = make_peer_rig()
+    s0, s1 = sessions
+    box = run(testbed, read_block(s0, 4)(testbed.env))
+    fh = box["value"][0]
+    assert directory.locate((fh, 4)) is not None
+
+    s0.client_proxy.crash()
+    assert directory.retirements == 1
+    assert directory.locate((fh, 4)) is None
+    assert directory.stats_snapshot()["listed_blocks"] == 0
+
+    golden = image.disk_inode.data.read(4 * BS, BS)
+    box1 = run(testbed, read_block(s1, 4)(testbed.env))
+    assert box1["value"][1] == golden
+    peer = s1.client_proxy.layer("peer-cache")
+    assert peer.stats.peer_hits == 0
+    assert peer.stats.peer_stale == 0     # a crash is not a stale answer
+    assert directory.stale == 0
+
+
+def test_crashed_fetcher_releases_pending_waiters(no_readahead):
+    """The designated WAN fetcher dies before publishing: its pending
+    gate is released at retire time, so the waiter re-queries and falls
+    through to its own upstream instead of stalling out the full
+    PENDING_TIMEOUT on a publication that will never come."""
+    testbed, endpoint, image, directory, sessions = make_peer_rig()
+    s0, s1 = sessions
+    member0 = s0.client_proxy.layer("peer-cache").member
+    member1 = s1.client_proxy.layer("peer-cache").member
+    box = run(testbed, read_block(s0, 0)(testbed.env))
+    fh = box["value"][0]
+    key = (fh, 9)
+    result = {}
+
+    def waiter(env):
+        t0 = env.now
+        result["reply"] = yield env.process(directory.borrow(member1, key))
+        result["waited"] = env.now - t0
+
+    def scenario(env):
+        got = yield env.process(directory.borrow(member0, key))
+        assert got == (None, False)       # s0 is the designated fetcher now
+        env.process(waiter(env))
+        yield env.timeout(0.01)
+        s0.client_proxy.crash()           # ...and dies before publishing
+
+    run(testbed, scenario(testbed.env))
+    assert result["reply"] == (None, False)       # fall through upstream
+    assert result["waited"] < directory.PENDING_TIMEOUT
+    assert directory.retirements == 1
+    assert directory.pending_timeouts == 0        # released, not timed out
+
+
+def test_blackholed_demote_is_abandoned_at_the_deadline(no_readahead):
+    """An in-flight DEMOTE swallowed by a dead next level is abandoned
+    at the bounded send deadline — counted, and never wedging the
+    eviction (or the read) that triggered it.  Replays identically."""
+    def world():
+        testbed, endpoint, image, cascade, session = make_demote_rig()
+        client = session.client_proxy.layer("block-cache")
+        assert client.arm_demotion()
+        l2 = cascade.levels[0]
+        injector = FaultInjector(testbed.env)
+        attach_stack(injector, "l2", l2.proxy)
+        injector.schedule(layer_outage(
+            FaultKind.BLACKHOLE_PROC, "l2/block-cache",
+            at=0.0, down_for=100.0, arg="DEMOTE"))
+        golden = image.disk_inode.data.read(2 * BS, BS)
+
+        def job(env):
+            f = yield env.process(session.mount.open(
+                "/images/golden/disk.vmdk"))
+            for b in (0, 1):
+                yield env.process(f.read(b * BS, BS))
+            yield env.process(l2.proxy.quiesce())
+            l2.proxy.invalidate_caches()
+            start = env.now
+            data = yield env.process(f.read(2 * BS, BS))  # evicts block 0
+            return start, env.now, data
+
+        box = run(testbed, job(testbed.env))
+        start, end, data = box["value"]
+        assert data == golden             # the triggering read completed
+        assert end - start < client.DEMOTE_DEADLINE + 1.0
+        assert client.stats.demotion_timeouts == 1
+        assert client.stats.demotions_out == 0
+        l2_layer = l2.proxy.layer("block-cache")
+        assert l2_layer.stats.procs_blackholed == 1
+        assert l2_layer.stats.demotions_in == 0
+        return injector.timeline, end - start
+
+    assert world() == world()             # fault replay is deterministic

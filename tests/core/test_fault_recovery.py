@@ -226,3 +226,37 @@ def test_flush_interrupted_by_server_crash_retries_to_consistency():
     assert (hashlib.sha256(server_bytes).hexdigest()
             == hashlib.sha256(payload).hexdigest())
     assert not proxy.block_cache.dirty_blocks()
+
+
+def test_journal_recovery_discards_corrupted_record():
+    """Media corruption after a record was journaled makes that
+    record's crc stale: recovery discards exactly that record and
+    replays the rest — garbled bytes are never flushed upstream."""
+    rig = Rig(metadata=False, cache_config=JOURNALED)
+    proxy = rig.session.client_proxy
+    fh = fh_for(rig)
+    server_fs = rig.endpoint.export.fs
+    before = server_fs.read(PATH, 1 * BS, BS)
+
+    def job(env):
+        for b in range(3):
+            reply = yield from proxy.handle(NfsRequest(
+                NfsProc.WRITE, fh=fh, offset=b * BS, data=block(b + 1)))
+            assert reply.ok
+        # The frame holding block 1 is garbled on disk *after* its
+        # journal record landed; the record's crc no longer matches.
+        assert proxy.block_cache.corrupt_frame((fh, 1))
+        proxy.crash()
+        recovered = yield env.process(proxy.recover())
+        yield env.process(proxy.flush())
+        return recovered
+
+    recovered, _ = rig.run(job(rig.env))
+    assert [key[1] for key in recovered] == [0, 2]   # exactly block 1 dropped
+    assert proxy.stats.recovered_dirty_blocks == 2
+    for b in (0, 2):                      # the intact records replayed
+        assert server_fs.read(PATH, b * BS, BS) == block(b + 1)
+    # Block 1 was neither flushed garbled nor flushed at all.
+    after = server_fs.read(PATH, 1 * BS, BS)
+    assert after == before and after != block(2)
+    assert proxy.block_cache.dirty_frames == 0

@@ -1,0 +1,142 @@
+"""Layer-targeted chaos: stack attachment naming, the layer-fault plan
+builders, and injector dispatch through the ``inject_fault`` port."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.chaos import attach_stack, layer_fault, layer_outage
+from repro.sim.faults import LAYER_KINDS, FaultInjector, FaultKind
+
+
+class _FakeLayer:
+    def __init__(self, role):
+        self.ROLE = role
+        self.injected = []
+
+    def inject_fault(self, kind, arg=None):
+        self.injected.append((kind, arg))
+
+
+class _FakeStack:
+    def __init__(self, roles):
+        self.layers = [_FakeLayer(role) for role in roles]
+
+
+# --------------------------------------------------------------------------
+# attach_stack naming
+# --------------------------------------------------------------------------
+
+def test_attach_stack_names_layers_by_role_in_stack_order():
+    env = Environment()
+    injector = FaultInjector(env)
+    stack = _FakeStack(["attr-patch", "block-cache", "upstream-rpc"])
+    names = attach_stack(injector, "c0", stack)
+    assert names == ["c0/attr-patch", "c0/block-cache", "c0/upstream-rpc"]
+    plan = layer_fault(FaultKind.CORRUPT_FRAME, "c0/block-cache", at=0.0)
+    injector.schedule(plan)               # resolves: really attached
+    env.run()
+    assert stack.layers[1].injected == [("corrupt-frame", None)]
+
+
+def test_attach_stack_keeps_first_of_duplicate_roles():
+    env = Environment()
+    injector = FaultInjector(env)
+    stack = _FakeStack(["block-cache", "block-cache"])
+    names = attach_stack(injector, "l2", stack)
+    assert names == ["l2/block-cache"]    # client-nearest wins
+    injector.schedule(layer_fault(
+        FaultKind.CORRUPT_FRAME, "l2/block-cache", at=0.0, arg=3))
+    env.run()
+    assert stack.layers[0].injected == [("corrupt-frame", 3)]
+    assert stack.layers[1].injected == []
+
+
+def test_attach_stack_rejects_reused_stack_names():
+    injector = FaultInjector(Environment())
+    attach_stack(injector, "c0", _FakeStack(["block-cache"]))
+    with pytest.raises(ValueError):
+        attach_stack(injector, "c0", _FakeStack(["block-cache"]))
+
+
+# --------------------------------------------------------------------------
+# Plan builders
+# --------------------------------------------------------------------------
+
+def test_layer_fault_builders_reject_coarse_kinds():
+    for builder in (lambda: layer_fault(FaultKind.LINK_DOWN, "wan", 0.0),
+                    lambda: layer_outage(FaultKind.SERVER_CRASH, "srv",
+                                         0.0, 1.0)):
+        with pytest.raises(ValueError):
+            builder()
+
+
+def test_layer_outage_pairs_failure_with_repair_carrying_the_arg():
+    plan = layer_outage(FaultKind.BLACKHOLE_PROC, "l2/upstream-rpc",
+                        at=1.0, down_for=2.0, arg="READ")
+    assert [(e.at, e.kind, e.target, e.arg) for e in plan.events] == [
+        (1.0, FaultKind.BLACKHOLE_PROC, "l2/upstream-rpc", "READ"),
+        (3.0, FaultKind.RESTORE_PROC, "l2/upstream-rpc", "READ")]
+    stall = layer_outage(FaultKind.STALL_UPLOADS, "c0/file-channel",
+                         at=0.5, down_for=1.0)
+    assert [e.kind for e in stall.events] == [
+        FaultKind.STALL_UPLOADS, FaultKind.RESUME_UPLOADS]
+
+
+def test_one_shot_layer_kinds_have_no_repair_pair():
+    for kind in (FaultKind.CORRUPT_FRAME, FaultKind.DROP_UPLOAD,
+                 FaultKind.DELAY_PROC, FaultKind.DUPLICATE_PROC):
+        assert kind in LAYER_KINDS
+        with pytest.raises(ValueError):
+            layer_outage(kind, "t", at=0.0, down_for=1.0)
+        assert len(layer_fault(kind, "t", at=0.0)) == 1
+
+
+# --------------------------------------------------------------------------
+# Injector dispatch
+# --------------------------------------------------------------------------
+
+def test_injector_dispatches_layer_kinds_through_the_fault_port():
+    env = Environment()
+    injector = FaultInjector(env)
+    layer = _FakeLayer("file-channel")
+    injector.attach("c0/file-channel", layer)
+    plan = layer_outage(FaultKind.STALL_UPLOADS, "c0/file-channel",
+                        at=1.0, down_for=2.0).merged(
+        layer_fault(FaultKind.DELAY_PROC, "c0/file-channel",
+                    at=2.0, arg=("READ", 0.05)))
+    injector.schedule(plan)
+    env.run()
+    assert layer.injected == [("stall-uploads", None),
+                              ("delay-proc", ("READ", 0.05)),
+                              ("resume-uploads", None)]
+    assert injector.timeline == [(1.0, "stall-uploads", "c0/file-channel"),
+                                 (2.0, "delay-proc", "c0/file-channel"),
+                                 (3.0, "resume-uploads", "c0/file-channel")]
+
+
+def test_layer_plans_replay_identical_timelines():
+    def run_once():
+        env = Environment()
+        injector = FaultInjector(env)
+        injector.attach("c0/block-cache", _FakeLayer("block-cache"))
+        injector.schedule(layer_fault(
+            FaultKind.CORRUPT_FRAME, "c0/block-cache", at=0.25, arg=7))
+        env.run()
+        return injector.timeline
+
+    assert run_once() == run_once()
+
+
+def test_base_layer_rejects_unknown_fault_kinds():
+    from repro.core.layers.base import ProxyLayer
+
+    plain = ProxyLayer()                  # FAULT_PROCS defaults to False
+    with pytest.raises(ValueError):
+        plain.inject_fault("blackhole-proc", "READ")
+
+    class _ProcLayer(ProxyLayer):
+        FAULT_PROCS = True
+
+    faulty = _ProcLayer()
+    with pytest.raises(ValueError):
+        faulty.inject_fault("corrupt-frame", 0)

@@ -87,3 +87,18 @@ def test_fleetbench_quick_exact_storm(capsys, tmp_path):
 def fleetbench_gates_pass(report):
     from repro.experiments import fleetbench
     return fleetbench.check_report(report) == []
+
+
+def test_chaosbench_quick_sweep(capsys, tmp_path):
+    out_file = tmp_path / "chaos.json"
+    assert main(["chaosbench", "--quick", "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "chaosbench" in out and "negative control" in out
+    import json
+    report = json.loads(out_file.read_text())
+    assert report["n_cells"] >= 24
+    assert all(cell["corrupted_bytes_served"] == 0
+               and cell["lost_writes"] == 0
+               for cell in report["cells"].values())
+    assert report["negative_control"]["corrupted_bytes_served"] > 0
+    assert report["golden"]["identical"] is True
