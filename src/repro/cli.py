@@ -37,6 +37,15 @@ Commands
     plain proxy / SecondLevelCache bit-identically on simulated time.
     ``--out results/BENCH_pr5.json`` archives the sweep; exit code 1
     when a guarantee is violated (the CI cascade-smoke gate).
+``farmbench``
+    Run the clone storm against the sharded image-server farm (1 vs 4
+    vs 16 replicated data servers, with and without a mid-storm
+    data-server crash) and check the farm guarantees: measurable storm
+    speedup at 4 and 16 servers, zero lost acknowledged writes and
+    observed failovers under the crash, bounded re-replication,
+    deterministic placement, and bit-identical farm-disabled golden
+    timings.  ``--out results/BENCH_pr9.json`` archives the report;
+    exit code 1 when a guarantee is violated (the CI farm-smoke gate).
 ``info``
     Print the calibration constants shared by every experiment.
 ``report``
@@ -376,6 +385,41 @@ def _cmd_fleetbench(args) -> int:
     return 0
 
 
+def _cmd_farmbench(args) -> int:
+    from repro.experiments import farmbench
+    try:
+        cells = None
+        if args.cells:
+            cells = []
+            for spec in args.cells.split(","):
+                crash = spec.endswith("+crash")
+                cells.append((int(spec.removesuffix("+crash")), crash))
+        report = farmbench.run_farmbench(quick=args.quick,
+                                         sessions=args.sessions,
+                                         cells=cells, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(farmbench.format_report(report))
+    if args.out:
+        import json
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"[written to {args.out}]")
+    baseline = None
+    if args.baseline:
+        import json
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    failures = farmbench.check_report(report, baseline=baseline)
+    if failures:
+        print("error: farm guarantees violated:\n  "
+              + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import assemble_report
     report = assemble_report(args.results_dir)
@@ -591,6 +635,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="earlier fleetbench JSON; fail on >20%% "
                             "microbench throughput regression")
     fleet.set_defaults(func=_cmd_fleetbench)
+
+    farmp = sub.add_parser(
+        "farmbench",
+        help="clone storm against the sharded image-server farm "
+             "(1 vs 4 vs 16 replicated data servers, with and without "
+             "a mid-storm data-server crash) and the farm guarantees: "
+             "storm speedup at 4 and 16 servers, zero lost "
+             "acknowledged writes and observed failovers under the "
+             "crash, bounded re-replication, deterministic placement, "
+             "bit-identical farm-disabled golden timings")
+    farmp.add_argument("--sessions", type=int, default=None, metavar="N",
+                       help="sessions per storm cell "
+                            "(default: 1000, or 48 with --quick)")
+    farmp.add_argument("--cells", default=None, metavar="C1,C2",
+                       help="comma-separated cells, each N or N+crash "
+                            "(default: 1,4,16,4+crash,16+crash; quick: "
+                            "1,4,4+crash)")
+    farmp.add_argument("--seed", type=int, default=0, metavar="N",
+                       help="placement seed (same seed => same map)")
+    farmp.add_argument("--quick", action="store_true",
+                       help="shrunken storm (CI smoke scale)")
+    farmp.add_argument("--out", default=None, metavar="FILE",
+                       help="write the report as JSON "
+                            "(e.g. results/BENCH_pr9.json)")
+    farmp.add_argument("--baseline", default=None, metavar="FILE",
+                       help="earlier farmbench JSON; fail on >25%% "
+                            "storm slowdown in any cell")
+    farmp.set_defaults(func=_cmd_farmbench)
 
     info = sub.add_parser("info", help="print calibration constants")
     info.set_defaults(func=_cmd_info)

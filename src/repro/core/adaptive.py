@@ -27,9 +27,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.blockcache import ProxyBlockCache
 from repro.core.config import ProxyCacheConfig
+from repro.sim import Interrupt
 
-__all__ = ["LevelSizing", "plan_cascade_sizing", "apply_cascade_sizing",
-           "resized_config", "format_sizing_report"]
+__all__ = ["LevelSizing", "PeriodicSizer", "plan_cascade_sizing",
+           "apply_cascade_sizing", "resized_config",
+           "format_sizing_report"]
 
 
 @dataclass(frozen=True)
@@ -202,6 +204,89 @@ def apply_cascade_sizing(stack, plans: List[LevelSizing]
         layer.replace_cache(new_cache)
         results.append((plan, True))
     return results
+
+
+class PeriodicSizer:
+    """Run the sizing planner on an engine timer, in-run.
+
+    PR 7's planner ran only between workload phases; this wires it onto
+    the simulation clock — the middleware knowledge loop of §3.2.2 as a
+    periodic process.  ``source`` is a stack, an iterable of stacks, or
+    a zero-arg callable returning the stacks to (re)plan — a callable
+    lets a session manager hand over "whatever sessions are live right
+    now" each tick.
+
+    The timer is a plain env process: bound it with ``rounds`` or call
+    :meth:`stop` (e.g. at the end of a workload) so ``env.run()`` can
+    drain.  Each tick snapshots, plans, and (unless ``apply=False``)
+    enacts the plans live; per-tick observations accumulate in
+    :attr:`history` for reports.
+    """
+
+    def __init__(self, env, source, interval: float,
+                 rounds: Optional[int] = None, apply: bool = True,
+                 **planner_kwargs):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self.env = env
+        self.source = source
+        self.interval = interval
+        self.rounds = rounds
+        self.apply = apply
+        self.planner_kwargs = planner_kwargs
+        self.history: List[Dict] = []
+        self._process = None
+
+    def _stacks(self) -> List:
+        source = self.source
+        if callable(source):
+            source = source()
+        if hasattr(source, "stats_snapshot"):
+            return [source]
+        return list(source)
+
+    def start(self):
+        """Start the timer process (idempotent); returns the process."""
+        if self._process is None or not self._process.is_alive:
+            self._process = self.env.process(self._run(),
+                                             name="periodic-sizer")
+        return self._process
+
+    def stop(self) -> None:
+        """Cancel the timer so the event queue can drain."""
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("sizer stopped")
+        self._process = None
+
+    @property
+    def ticks(self) -> int:
+        return len(self.history)
+
+    def _run(self):
+        try:
+            fired = 0
+            while self.rounds is None or fired < self.rounds:
+                yield self.env.timeout(self.interval)
+                fired += 1
+                self._tick()
+        except Interrupt:
+            pass
+
+    def _tick(self) -> None:
+        entry = {"at": self.env.now, "stacks": 0, "planned": 0,
+                 "applied": 0, "actions": {}}
+        for stack in self._stacks():
+            snapshot = stack.stats_snapshot(deep=True)
+            plans = plan_cascade_sizing(snapshot, **self.planner_kwargs)
+            entry["stacks"] += 1
+            for plan in plans:
+                entry["actions"][plan.action] = (
+                    entry["actions"].get(plan.action, 0) + 1)
+            entry["planned"] += sum(1 for p in plans if p.action != "keep")
+            if self.apply:
+                results = apply_cascade_sizing(stack, plans)
+                entry["applied"] += sum(1 for _, ok in results if ok)
+        self.history.append(entry)
 
 
 def format_sizing_report(plans: List[LevelSizing]) -> str:

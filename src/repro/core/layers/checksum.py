@@ -30,18 +30,22 @@ happy-path timings are bit-identical with and without it.
 
 from __future__ import annotations
 
+import json
 import zlib
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional, Tuple
 
 from repro.core.layers.base import ProxyLayer
-from repro.nfs.protocol import NfsProc, NfsReply, NfsStatus
+from repro.nfs.protocol import FileHandle, NfsProc, NfsReply, NfsStatus
 
 __all__ = ["ChecksumLayer", "ChecksumRegistry"]
 
 
 class ChecksumRegistry:
     """Shared (fh, block) -> (crc32, length) map of blocks of record."""
+
+    #: Digest sidecar filename, persisted beside each image directory.
+    PERSIST_NAME = ".gvfs-digests.json"
 
     def __init__(self):
         self._crcs: Dict[Tuple, Tuple[int, int]] = {}
@@ -69,6 +73,44 @@ class ChecksumRegistry:
 
     def __len__(self) -> int:
         return len(self._crcs)
+
+    # ------------------------------------------------------------- persistence
+    def save(self, fs, path: str, fileids=None) -> int:
+        """Persist digests as a JSON sidecar file inside ``fs``.
+
+        Rows are ``[fsid, fileid, block, crc32, length]``; only keys of
+        the ``(FileHandle, block)`` shape are persistable (chaosbench
+        uses opaque keys for negative controls — those stay in-memory).
+        ``fileids`` restricts the slice to one image's files so sidecars
+        beside different images don't carry each other's digests.
+        """
+        rows = []
+        for key, (crc, length) in self._crcs.items():
+            fh, idx = key
+            if not isinstance(fh, FileHandle):
+                continue
+            if fileids is not None and fh.fileid not in fileids:
+                continue
+            rows.append([fh.fsid, fh.fileid, idx, crc, length])
+        rows.sort()
+        payload = json.dumps(rows, separators=(",", ":")).encode()
+        if fs.exists(path):
+            inode = fs.lookup(path)
+            inode.data.truncate(0)
+        else:
+            inode = fs.create(path)
+        inode.data.write(0, payload)
+        inode.touch()
+        return len(rows)
+
+    def load(self, fs, path: str) -> int:
+        """Merge a persisted sidecar back into this registry."""
+        inode = fs.lookup(path)
+        raw = inode.data.read(0, inode.data.size)
+        rows = json.loads(raw.decode())
+        for fsid, fileid, idx, crc, length in rows:
+            self._crcs[(FileHandle(fsid, fileid), idx)] = (crc, length)
+        return len(rows)
 
 
 @dataclass

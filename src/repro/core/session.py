@@ -213,7 +213,9 @@ class ServerEndpoint:
 def build_caching_proxy(env: Environment, upstream: RpcClient, *, name: str,
                         cache_config: ProxyCacheConfig, block_cache,
                         channel, metadata: bool = True,
-                        peer_member=None, integrity=None) -> GvfsProxy:
+                        peer_member=None, integrity=None,
+                        origin_selector=None,
+                        channel_selector=None) -> GvfsProxy:
     """One caching GVFS proxy: the standard layer stack (attr patching,
     zero-map meta-data, file channel, block cache + readahead, fault
     guard, upstream RPC) over ``upstream``.
@@ -233,7 +235,9 @@ def build_caching_proxy(env: Environment, upstream: RpcClient, *, name: str,
                      ProxyConfig(name=name, cache=cache_config,
                                  metadata=metadata, **pipeline_overrides()),
                      block_cache=block_cache, channel=channel,
-                     peer_member=peer_member, checksum=checksum)
+                     peer_member=peer_member, checksum=checksum,
+                     origin_selector=origin_selector,
+                     channel_selector=channel_selector)
 
 
 def direct_file_channel(env: Environment, endpoint: ServerEndpoint,
@@ -548,7 +552,8 @@ class GvfsSession:
               peer_directory=None,
               exclusive: bool = False,
               file_cache_capacity: Optional[int] = None,
-              integrity=None
+              integrity=None,
+              origin=None
               ) -> "GvfsSession":
         """Wire a session for ``scenario`` on compute node ``compute_index``.
 
@@ -575,12 +580,31 @@ class GvfsSession:
         a verify-mode checksum layer at the top of the client proxy;
         pair it with an endpoint built with the same registry so there
         are origin-recorded checksums to verify against.
+
+        ``origin`` replaces the single upstream with a replicated
+        origin provider (duck-typed; canonically
+        ``repro.middleware.farm.ImageFarm``): anything exposing
+        ``endpoint`` (root-handle source), ``integrity`` (shared
+        checksum registry), ``upstream_client(name, compute_host)``
+        (an RpcClient-compatible origin selector fanning requests
+        across replicas) and ``session_channels(file_cache,
+        compute_host, name)`` (a file-channel selector).  ``origin``
+        and ``via`` are mutually exclusive — a farm is already its own
+        data plane.  With ``origin=None`` the wiring below is
+        bit-identical to the single-origin path.
         """
         env = testbed.env
         n = next(_session_counter)
         compute = testbed.compute[compute_index]
         if isinstance(via, ProxyCascade):
             via = via.top
+        if origin is not None:
+            if via is not None:
+                raise ValueError("origin farm and cascade 'via' are "
+                                 "mutually exclusive")
+            endpoint = origin.endpoint
+            if integrity is None:
+                integrity = origin.integrity
 
         if scenario is Scenario.LOCAL:
             return cls(env=env, scenario=scenario,
@@ -596,7 +620,12 @@ class GvfsSession:
         # server itself), so an endpoint on the LAN server is reached
         # over LAN links even in a WAN-named scenario (e.g. a user-data
         # server co-located on the LAN).
-        if via is not None:
+        route_out = route_back = None
+        if origin is not None:
+            # The farm client owns one tunnel pair per replica; there
+            # is no single upstream route.
+            upstream = origin.upstream_client(f"s{n}", compute)
+        elif via is not None:
             route_out = testbed.route(compute, via.host)
             route_back = testbed.route(via.host, compute)
             upstream_handler = via.proxy
@@ -609,10 +638,11 @@ class GvfsSession:
             route_back = testbed.lan_route_back(compute_index)
             upstream_handler = endpoint.proxy
 
-        tunnel_out = SshTunnel(env, route_out, name=f"s{n}.out")
-        tunnel_back = SshTunnel(env, route_back, name=f"s{n}.back")
-        upstream = RpcClient(env, upstream_handler, tunnel_out, tunnel_back,
-                             name=f"s{n}.rpc")
+        if origin is None:
+            tunnel_out = SshTunnel(env, route_out, name=f"s{n}.out")
+            tunnel_back = SshTunnel(env, route_back, name=f"s{n}.back")
+            upstream = RpcClient(env, upstream_handler, tunnel_out,
+                                 tunnel_back, name=f"s{n}.rpc")
 
         client_proxy = None
         if scenario is Scenario.WAN_CACHED:
@@ -627,12 +657,18 @@ class GvfsSession:
             file_cache = ProxyFileCache(env, compute.local,
                                         name=f"s{n}.files",
                                         capacity_bytes=file_cache_capacity)
-            scp = ScpTransfer(env, route_back, name=f"s{n}.scp")
-            upload_scp = ScpTransfer(env, route_out, name=f"s{n}.scp-up")
-            if via is not None:
+            channel_selector = None
+            if origin is not None:
+                channel_selector = origin.session_channels(
+                    file_cache, compute, f"s{n}")
+                channel = channel_selector.primary
+            elif via is not None:
+                scp = ScpTransfer(env, route_back, name=f"s{n}.scp")
                 channel = CascadedFileChannel(
                     env, via.channel, via.host, compute, scp, file_cache)
             else:
+                scp = ScpTransfer(env, route_back, name=f"s{n}.scp")
+                upload_scp = ScpTransfer(env, route_out, name=f"s{n}.scp-up")
                 channel = direct_file_channel(env, endpoint, compute,
                                               file_cache, scp,
                                               upload_scp=upload_scp)
@@ -644,7 +680,9 @@ class GvfsSession:
                 env, upstream, name=f"s{n}.client-proxy",
                 cache_config=cache_config, block_cache=block_cache,
                 channel=channel, metadata=metadata,
-                peer_member=peer_member, integrity=integrity)
+                peer_member=peer_member, integrity=integrity,
+                origin_selector=(upstream if origin is not None else None),
+                channel_selector=channel_selector)
             if exclusive:
                 client_proxy.layer("block-cache").arm_demotion()
             loop = LoopbackTransport(env)

@@ -55,14 +55,27 @@ class VmSessionManager:
                  endpoint: Optional[ServerEndpoint] = None,
                  scenario: Scenario = Scenario.WAN_CACHED,
                  data_endpoint: Optional[ServerEndpoint] = None,
-                 account_pool_size: int = 16):
+                 account_pool_size: int = 16,
+                 origin=None):
         self.testbed = testbed
         self.env = testbed.env
         self.scenario = scenario
-        self.endpoint = endpoint or ServerEndpoint(self.env,
-                                                   testbed.wan_server)
+        # ``origin`` (an ImageFarm, or any object with the same session
+        # protocol) replaces the single image server with the replicated
+        # data-server farm: sessions resolve their misses through it, and
+        # its catalog (on the first replica, mirrored to the rest) becomes
+        # the image catalog of record.
+        self.origin = origin
+        if origin is not None:
+            if endpoint is not None:
+                raise ValueError("endpoint and origin are mutually exclusive")
+            self.endpoint = origin.endpoint
+            self.catalog = origin.catalog
+        else:
+            self.endpoint = endpoint or ServerEndpoint(self.env,
+                                                       testbed.wan_server)
+            self.catalog = ImageCatalog(self.endpoint.export.fs)
         self.data_endpoint = data_endpoint
-        self.catalog = ImageCatalog(self.endpoint.export.fs)
         # The logical-account pool bounds concurrent sessions; fleet
         # workloads size it to their expected peak.
         self.accounts = AccountManager(self.env,
@@ -99,8 +112,9 @@ class VmSessionManager:
         index = (self._pick_compute() if compute_index is None
                  else compute_index)
         gvfs = GvfsSession.build(self.testbed, self.scenario,
-                                 endpoint=self.endpoint,
-                                 compute_index=index)
+                                 endpoint=None if self.origin else
+                                 self.endpoint,
+                                 compute_index=index, origin=self.origin)
         compute = self.testbed.compute[index]
         monitor = VmMonitor(self.env, compute)
         manager = CloneManager(self.env, monitor, gvfs.mount,
@@ -150,6 +164,30 @@ class VmSessionManager:
     @property
     def active_sessions(self) -> int:
         return sum(1 for s in self.sessions if not s.closed)
+
+    def start_adaptive_sizing(self, interval: float,
+                              rounds: Optional[int] = None,
+                              apply: bool = True, **planner_kwargs):
+        """Start PR 7's cascade-sizing planner on an engine timer.
+
+        Each tick re-plans every *live* session's cascade from a deep
+        stats snapshot and (unless ``apply=False``) enacts the verdicts
+        on the running stacks — the §3.2.2 middleware knowledge loop
+        running periodically *during* the workload rather than between
+        phases.  Returns the :class:`~repro.core.adaptive.PeriodicSizer`
+        (call ``.stop()`` at workload end, or bound it with ``rounds``,
+        so ``env.run()`` can drain).
+        """
+        from repro.core.adaptive import PeriodicSizer
+
+        def live_stacks():
+            return [s.gvfs.client_proxy for s in self.sessions
+                    if not s.closed and s.gvfs.client_proxy is not None]
+
+        sizer = PeriodicSizer(self.env, live_stacks, interval,
+                              rounds=rounds, apply=apply, **planner_kwargs)
+        sizer.start()
+        return sizer
 
     # ---------------------------------------------------------------- telemetry
     def session_telemetry(self, deep: bool = True) -> List[dict]:

@@ -438,6 +438,29 @@ class Testbed:
             name=f"{name}.eth", mode=self.link_mode)
         return host
 
+    def add_origin_pool(self, n: int, prefix: str = "data-server",
+                        profile: str = "site", cpus: int = 2,
+                        cpu_speed: float = 1.6,
+                        page_cache_bytes: int = 512 * 1024 * 1024
+                        ) -> List[Host]:
+        """Provision ``n`` origin-tier hosts (an image-server farm).
+
+        Each data server gets its *own* access-link duplex at the named
+        :data:`LINK_PROFILES` calibration (default: campus-backbone
+        site links), so aggregate farm bandwidth scales with the number
+        of servers instead of funneling through one image server's
+        port.  Hosts are named ``{prefix}0..{n-1}`` and are routable
+        from every compute node via :meth:`route`.
+        """
+        if n < 1:
+            raise ValueError("need at least one data server")
+        conditions = resolve_profile(profile)
+        return [self.add_host(f"{prefix}{i}", cpus=cpus,
+                              cpu_speed=cpu_speed,
+                              page_cache_bytes=page_cache_bytes,
+                              conditions=conditions)
+                for i in range(n)]
+
     # -- cooperative caching --------------------------------------------------
     def peer_directory(self, site: str = "site0") -> PeerCacheDirectory:
         """The site's cooperative peer-cache directory, created on

@@ -18,7 +18,8 @@ from typing import List
 
 from repro.sim.faults import FaultEvent, FaultKind, FaultPlan, LAYER_KINDS
 
-__all__ = ["attach_stack", "layer_fault", "layer_outage"]
+__all__ = ["attach_data_servers", "attach_stack", "layer_fault",
+           "layer_outage"]
 
 
 def attach_stack(injector, name: str, stack) -> List[str]:
@@ -36,6 +37,24 @@ def attach_stack(injector, name: str, stack) -> List[str]:
         if target in attached:
             continue
         injector.attach(target, layer)
+        attached.append(target)
+    return attached
+
+
+def attach_data_servers(injector, name: str, farm) -> List[str]:
+    """Attach every data server of an image-server farm to ``injector``.
+
+    Each node is registered as ``"{name}/{node.name}"`` so a plan can
+    crash one replica of the farm by name (``FaultPlan.server_crash``
+    dispatches to the node's ``crash()``, which retires it from the
+    placement map).  Duck-typed like :func:`attach_stack`: a "farm" is
+    anything with a ``data_servers`` iterable of named crash/restart
+    targets.  Returns the names attached, in registration order.
+    """
+    attached: List[str] = []
+    for node in farm.data_servers:
+        target = f"{name}/{node.name}"
+        injector.attach(target, node)
         attached.append(target)
     return attached
 

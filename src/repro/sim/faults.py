@@ -177,6 +177,16 @@ class FaultPlan:
         return cls.outage(FaultKind.SERVER_CRASH, target, at, down_for)
 
     @classmethod
+    def server_crash(cls, target: str, at: float) -> "FaultPlan":
+        """A permanent server crash with no scheduled restart.
+
+        The farm's retirement path: a crashed data server is retracted
+        from the placement map and re-replicated around, never rejoined
+        — unlike :meth:`server_outage`, which repairs the same server.
+        """
+        return cls([FaultEvent(at, FaultKind.SERVER_CRASH, target)])
+
+    @classmethod
     def proxy_restart(cls, target: str, at: float,
                       down_for: float) -> "FaultPlan":
         return cls.outage(FaultKind.PROXY_CRASH, target, at, down_for)

@@ -253,3 +253,104 @@ def test_apply_refuses_resize_with_dirty_frames():
                         working_set=128, reason="test")
     results = apply_cascade_sizing(session.client_proxy, [shrink])
     assert results[0][1] is False            # flush first, never lose data
+
+
+# -- periodic in-run sizing (engine-timer planner) --------------------------
+
+class FakeStack:
+    """Minimal stack: a deep-snapshot source the planner can read."""
+
+    def __init__(self):
+        self.snapshots = 0
+
+    def stats_snapshot(self, deep=True):
+        self.snapshots += 1
+        return snapshot(counters(hits=3, misses=4))
+
+
+def test_periodic_sizer_ticks_on_the_engine_clock():
+    from repro.core.adaptive import PeriodicSizer
+
+    env = Environment()
+    stack = FakeStack()
+    sizer = PeriodicSizer(env, stack, interval=2.0, rounds=3, apply=False)
+    sizer.start()
+    env.run()
+    assert sizer.ticks == 3
+    assert [e["at"] for e in sizer.history] == [2.0, 4.0, 6.0]
+    assert stack.snapshots == 3
+    for entry in sizer.history:
+        assert entry["stacks"] == 1
+        assert entry["actions"] == {"keep": 1}
+        assert entry["applied"] == 0
+
+
+def test_periodic_sizer_stop_lets_the_queue_drain():
+    from repro.core.adaptive import PeriodicSizer
+
+    env = Environment()
+    sizer = PeriodicSizer(env, FakeStack(), interval=1.0, apply=False)
+    sizer.start()
+
+    def workload(env):
+        yield env.timeout(3.5)
+        sizer.stop()
+
+    env.process(workload(env))
+    env.run()                               # unbounded timer would hang here
+    assert sizer.ticks == 3                 # no tick after stop()
+
+
+def test_periodic_sizer_callable_source_sees_live_stacks():
+    from repro.core.adaptive import PeriodicSizer
+
+    env = Environment()
+    live = []
+    sizer = PeriodicSizer(env, lambda: live, interval=1.0, rounds=2,
+                          apply=False)
+    sizer.start()
+
+    def workload(env):
+        yield env.timeout(0.5)
+        live.append(FakeStack())            # joins before the first tick
+        yield env.timeout(1.0)
+        live.append(FakeStack())            # joins before the second
+
+    env.process(workload(env))
+    env.run()
+    assert [e["stacks"] for e in sizer.history] == [1, 2]
+
+
+def test_periodic_sizer_rejects_bad_interval():
+    from repro.core.adaptive import PeriodicSizer
+
+    with pytest.raises(ValueError):
+        PeriodicSizer(Environment(), FakeStack(), interval=0)
+
+
+def test_session_manager_periodic_sizing_over_a_live_session():
+    """The middleware wiring: a timer re-plans live sessions in-run."""
+    from repro.middleware.imageserver import ImageRequirements
+    from repro.middleware.sessions import VmSessionManager
+    from repro.net.topology import make_paper_testbed
+
+    testbed = make_paper_testbed(n_compute=1)
+    env = testbed.env
+    manager = VmSessionManager(testbed, account_pool_size=2)
+    manager.catalog.register(
+        "golden", VmConfig(name="golden", memory_mb=4, disk_gb=0.01,
+                           persistent=False, seed=17),
+        zero_fraction=0.5, generate_metadata=False)
+    sizer = manager.start_adaptive_sizing(interval=5.0, apply=False)
+
+    def workload(env):
+        session = yield env.process(manager.create_session(
+            "alice", ImageRequirements(min_memory_mb=4)))
+        yield env.timeout(12.0)
+        yield env.process(manager.end_session(session))
+        sizer.stop()
+
+    env.process(workload(env))
+    env.run()
+    assert sizer.ticks >= 2
+    assert any(e["stacks"] >= 1 for e in sizer.history)
