@@ -46,14 +46,28 @@ Commands
     deterministic placement, and bit-identical farm-disabled golden
     timings.  ``--out results/BENCH_pr9.json`` archives the report;
     exit code 1 when a guarantee is violated (the CI farm-smoke gate).
+``scenario run/list/check``
+    The declarative scenario engine (:mod:`repro.scenario`): ``run``
+    executes one spec from ``scenarios/`` (or a path) end to end —
+    topology, sessions, phases, faults, gates — and emits the unified
+    ``BENCH_*.json`` envelope; ``--quick`` applies the spec's quick
+    profile, ``--check`` turns failed gates into exit code 1 (the CI
+    scenario-smoke matrix runs ``scenario run <spec> --quick
+    --check``).  ``list`` prints the spec library; ``check`` validates
+    a spec (including its quick profile) without running it.
 ``info``
     Print the calibration constants shared by every experiment.
 ``report``
     Assemble the archived benchmark tables under ``results/`` into one
     reproduction report (exit code 1 while sections are missing).
 
-The heavy lifting lives in :mod:`repro.experiments`; this is a thin
-front end so a checkout is usable without pytest.
+Every bench subcommand shares one gate discipline: the driver's
+``check_report`` failures print to stderr and yield exit code 1;
+malformed arguments yield exit code 2; a clean run exits 0.
+
+The heavy lifting lives in :mod:`repro.experiments` and
+:mod:`repro.scenario`; this is a thin front end so a checkout is
+usable without pytest.
 """
 
 from __future__ import annotations
@@ -201,8 +215,44 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _write_json(doc, out: str) -> None:
+    import json
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[written to {out}]")
+
+
+def _finish_report(doc, failures, out, label) -> int:
+    """The uniform tail of every bench subcommand: archive, then turn
+    check_report failures into stderr + exit code 1."""
+    if out:
+        _write_json(doc, out)
+    if failures:
+        print(f"error: {label} violated:\n  " + "\n  ".join(failures),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_bench_cmd(driver: str, params, quick: bool, out, label,
+                   seed: int = 0) -> int:
+    """Run a legacy bench through the scenario engine's adapter so the
+    CLI and the scenario matrix share one execution + gate path."""
+    from repro.scenario.runner import run_bench_driver
+    try:
+        report, failures, text = run_bench_driver(driver, params, quick,
+                                                  seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(text)
+    return _finish_report(report, failures, out, label)
+
+
 def _cmd_perf(args) -> int:
     from repro.experiments import perf
+    from repro.scenario.runner import perf_gate_failures
     names = (args.workloads.split(",") if args.workloads
              else list(perf.WORKLOADS))
     unknown = [n for n in names if n not in perf.WORKLOADS]
@@ -221,201 +271,146 @@ def _cmd_perf(args) -> int:
              for n, s in report.samples.items()}, golden_path)
         print(f"[golden timings updated in {golden_path}]")
     print(perf.format_report(report))
-    if args.out:
-        import json
-        with open(args.out, "w") as f:
-            json.dump(report.to_dict(), f, indent=2, sort_keys=True)
-            f.write("\n")
-        print(f"[written to {args.out}]")
-    if report.golden_ok is False:
-        print("error: simulated-time results drifted from golden timings "
-              "(a perf change must be timing-neutral)", file=sys.stderr)
-        return 1
-    if args.max_slowdown:
-        slow = [f"{name}: {1 / spd:.2f}x slower than baseline"
-                for name, spd in report.speedup.items()
-                if spd < 1.0 / args.max_slowdown]
-        if slow:
-            print("error: wall-clock regression beyond "
-                  f"{args.max_slowdown:g}x:\n  " + "\n  ".join(slow),
-                  file=sys.stderr)
-            return 1
-    return 0
+    return _finish_report(report.to_dict(),
+                          perf_gate_failures(report, args.max_slowdown),
+                          args.out, "perf guarantees")
 
 
 def _cmd_faultbench(args) -> int:
-    from repro.experiments import faultbench
-    names = args.scenario.split(",") if args.scenario else None
-    try:
-        report = faultbench.run_faultbench(scenarios=names, quick=args.quick,
-                                           seed=args.seed,
-                                           link_mode=args.link_mode)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(faultbench.format_report(report))
-    if args.out:
-        import json
-        with open(args.out, "w") as f:
-            json.dump(report, f, indent=2, sort_keys=True)
-            f.write("\n")
-        print(f"[written to {args.out}]")
-    failures = faultbench.check_report(report)
-    if failures:
-        print("error: recovery guarantees violated:\n  "
-              + "\n  ".join(failures), file=sys.stderr)
-        return 1
-    return 0
+    params = {"link_mode": args.link_mode}
+    if args.scenario:
+        params["scenarios"] = args.scenario.split(",")
+    return _run_bench_cmd("faultbench", params, args.quick, args.out,
+                          "recovery guarantees", seed=args.seed)
 
 
 def _cmd_chaosbench(args) -> int:
-    from repro.experiments import chaosbench
-    try:
-        report = chaosbench.run_chaosbench(quick=args.quick, seed=args.seed)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(chaosbench.format_report(report))
-    if args.out:
-        import json
-        with open(args.out, "w") as f:
-            json.dump(report, f, indent=2, sort_keys=True)
-            f.write("\n")
-        print(f"[written to {args.out}]")
-    failures = chaosbench.check_report(report)
-    if failures:
-        print("error: chaos guarantees violated:\n  "
-              + "\n  ".join(failures), file=sys.stderr)
-        return 1
-    return 0
+    return _run_bench_cmd("chaosbench", {}, args.quick, args.out,
+                          "chaos guarantees", seed=args.seed)
 
 
 def _cmd_coopbench(args) -> int:
-    from repro.experiments import coopbench
-    try:
-        report = coopbench.run_coopbench(
-            modes=args.modes.split(",") if args.modes else None,
-            depths=[int(d) for d in args.depths.split(",")]
-            if args.depths else None,
-            peers=[int(p) for p in args.peers.split(",")]
-            if args.peers else None,
-            quick=args.quick)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(coopbench.format_report(report))
-    if args.out:
-        import json
-        with open(args.out, "w") as f:
-            json.dump(report, f, indent=2, sort_keys=True)
-            f.write("\n")
-        print(f"[written to {args.out}]")
-    failures = coopbench.check_report(report)
-    if failures:
-        print("error: cooperative-caching guarantees violated:\n  "
-              + "\n  ".join(failures), file=sys.stderr)
-        return 1
-    return 0
+    params = {}
+    if args.modes:
+        params["modes"] = args.modes.split(",")
+    if args.depths:
+        params["depths"] = [int(d) for d in args.depths.split(",")]
+    if args.peers:
+        params["peers"] = [int(p) for p in args.peers.split(",")]
+    return _run_bench_cmd("coopbench", params, args.quick, args.out,
+                          "cooperative-caching guarantees")
 
 
 def _cmd_cascadebench(args) -> int:
-    from repro.experiments import cascadebench
-    try:
-        report = cascadebench.run_cascadebench(
-            depths=[int(d) for d in args.depths.split(",")]
-            if args.depths else None,
-            policies=args.policies.split(",") if args.policies else None,
-            workloads=args.workloads.split(",") if args.workloads else None,
-            quick=args.quick)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    print(cascadebench.format_report(report))
-    if args.out:
-        import json
-        with open(args.out, "w") as f:
-            json.dump(report, f, indent=2, sort_keys=True)
-            f.write("\n")
-        print(f"[written to {args.out}]")
-    failures = cascadebench.check_report(report)
-    if failures:
-        print("error: cascade guarantees violated:\n  "
-              + "\n  ".join(failures), file=sys.stderr)
-        return 1
-    return 0
+    params = {}
+    if args.depths:
+        params["depths"] = [int(d) for d in args.depths.split(",")]
+    if args.policies:
+        params["policies"] = args.policies.split(",")
+    if args.workloads:
+        params["workloads"] = args.workloads.split(",")
+    return _run_bench_cmd("cascadebench", params, args.quick, args.out,
+                          "cascade guarantees")
 
 
 def _cmd_fleetbench(args) -> int:
-    from repro.experiments import fleetbench
+    from repro.scenario.runner import run_bench_driver
+    params = {"sessions": args.sessions, "sites": args.sites,
+              "processes": args.processes, "telemetry": args.fleet_report}
+    if args.modes:
+        params["modes"] = args.modes.split(",")
+    if args.baseline:
+        params["baseline"] = args.baseline
     try:
-        report = fleetbench.run_fleetbench(
-            quick=args.quick,
-            sessions=args.sessions,
-            sites=args.sites,
-            modes=args.modes.split(",") if args.modes else None,
-            processes=args.processes,
-            telemetry=args.fleet_report)
+        report, failures, text = run_bench_driver("fleetbench", params,
+                                                  args.quick, 0)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(fleetbench.format_report(report))
+    print(text)
     if args.fleet_report:
         for mode, storm in report["storm"].items():
             for site in storm["per_site"]:
-                text = site.get("fleet_report")
-                if text:
+                site_text = site.get("fleet_report")
+                if site_text:
                     print(f"\n[{mode} storm, site {site['site']}]")
-                    print(text)
-    if args.out:
-        import json
-        with open(args.out, "w") as f:
-            json.dump(report, f, indent=2, sort_keys=True)
-            f.write("\n")
-        print(f"[written to {args.out}]")
-    baseline = None
-    if args.baseline:
-        import json
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-    failures = fleetbench.check_report(report, baseline=baseline)
-    if failures:
-        print("error: fleet guarantees violated:\n  "
-              + "\n  ".join(failures), file=sys.stderr)
-        return 1
-    return 0
+                    print(site_text)
+    return _finish_report(report, failures, args.out, "fleet guarantees")
 
 
 def _cmd_farmbench(args) -> int:
-    from repro.experiments import farmbench
+    params = {"sessions": args.sessions}
+    if args.cells:
+        params["cells"] = args.cells.split(",")
+    if args.baseline:
+        params["baseline"] = args.baseline
+    return _run_bench_cmd("farmbench", params, args.quick, args.out,
+                          "farm guarantees", seed=args.seed)
+
+
+# --------------------------------------------------------------------------
+# Declarative scenarios
+# --------------------------------------------------------------------------
+
+def _cmd_scenario_list(args) -> int:
+    from repro.scenario.loader import list_specs
+    from repro.scenario.spec import SpecError
     try:
-        cells = None
-        if args.cells:
-            cells = []
-            for spec in args.cells.split(","):
-                crash = spec.endswith("+crash")
-                cells.append((int(spec.removesuffix("+crash")), crash))
-        report = farmbench.run_farmbench(quick=args.quick,
-                                         sessions=args.sessions,
-                                         cells=cells, seed=args.seed)
+        specs = list_specs()
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for spec in specs:
+        quick = " [quick profile]" if spec.quick else ""
+        print(f"{spec.name:<16} {spec.kind:<6} "
+              f"{spec.description or spec.bench.driver}{quick}")
+    return 0
+
+
+def _cmd_scenario_check(args) -> int:
+    from repro.scenario.loader import load_spec
+    from repro.scenario.spec import SpecError
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    gates = [g.name for g in spec.gates] or (
+        ["check_report"] if spec.kind == "bench" else [])
+    print(f"{spec.name}: OK ({spec.kind}, "
+          f"{len(spec.phases)} phase(s), {len(spec.faults)} fault(s), "
+          f"gates: {', '.join(gates) or 'none'})")
+    return 0
+
+
+def _cmd_scenario_run(args) -> int:
+    from repro.scenario.loader import load_spec
+    from repro.scenario.runner import run_spec
+    from repro.scenario.schema import validate_report
+    from repro.scenario.spec import SpecError
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        envelope, text = run_spec(spec, quick=args.quick)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(farmbench.format_report(report))
+    print(text)
     if args.out:
-        import json
-        with open(args.out, "w") as f:
-            json.dump(report, f, indent=2, sort_keys=True)
-            f.write("\n")
-        print(f"[written to {args.out}]")
-    baseline = None
-    if args.baseline:
-        import json
-        with open(args.baseline) as f:
-            baseline = json.load(f)
-    failures = farmbench.check_report(report, baseline=baseline)
-    if failures:
-        print("error: farm guarantees violated:\n  "
-              + "\n  ".join(failures), file=sys.stderr)
+        _write_json(envelope, args.out)
+    errors = validate_report(envelope)
+    if errors:
+        print("error: report envelope violates bench_schema.json:\n  "
+              + "\n  ".join(errors), file=sys.stderr)
+        return 1
+    if args.check and not envelope["ok"]:
+        failed = [f"{g['name']}: {g['detail']}"
+                  for g in envelope["gates"] if not g["ok"]]
+        print(f"error: scenario {spec.name} gates failed:\n  "
+              + "\n  ".join(failed), file=sys.stderr)
         return 1
     return 0
 
@@ -663,6 +658,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="earlier farmbench JSON; fail on >25%% "
                             "storm slowdown in any cell")
     farmp.set_defaults(func=_cmd_farmbench)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="declarative scenario engine: run/list/check specs from "
+             "scenarios/ (one spec drives topology, sessions, phases, "
+             "faults and gates, and emits the unified BENCH envelope)")
+    scenario_sub = scenario.add_subparsers(dest="action", required=True)
+
+    srun = scenario_sub.add_parser(
+        "run", help="run one scenario spec end to end")
+    srun.add_argument("spec", metavar="SPEC",
+                      help="spec name from scenarios/ (e.g. fault_smoke) "
+                           "or a path to a .yaml/.json/.py spec file")
+    srun.add_argument("--quick", action="store_true",
+                      help="apply the spec's quick profile "
+                           "(CI smoke scale)")
+    srun.add_argument("--check", action="store_true",
+                      help="exit 1 when any gate fails (CI mode; "
+                           "without it the run only reports)")
+    srun.add_argument("--out", default=None, metavar="FILE",
+                      help="write the report envelope as JSON "
+                           "(e.g. results/BENCH_fault_smoke.json)")
+    _add_stack_report_flag(srun)
+    srun.set_defaults(func=_cmd_scenario_run)
+
+    slist = scenario_sub.add_parser(
+        "list", help="list the scenario library")
+    slist.set_defaults(func=_cmd_scenario_list)
+
+    scheck = scenario_sub.add_parser(
+        "check", help="validate a spec (and its quick profile) without "
+                      "running it")
+    scheck.add_argument("spec", metavar="SPEC")
+    scheck.set_defaults(func=_cmd_scenario_check)
 
     info = sub.add_parser("info", help="print calibration constants")
     info.set_defaults(func=_cmd_info)

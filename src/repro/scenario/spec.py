@@ -1,0 +1,496 @@
+"""The declarative scenario schema.
+
+A scenario is pure data: frozen dataclasses parsed from a plain dict
+(YAML, JSON, or a ``SPEC`` dict in a ``.py`` file — see
+:mod:`repro.scenario.loader`).  Parsing is strict — an unknown key
+anywhere in the document raises :class:`SpecError` naming the offending
+path, so a typo'd gate or phase field fails at load time instead of
+silently running a different experiment.
+
+``ScenarioSpec.to_dict`` emits the *normalized* form: every field
+explicit, defaults filled in.  ``from_dict(spec.to_dict()) == spec``
+holds for any spec, which is what the round-trip tests pin down.
+
+Two scenario kinds share the envelope:
+
+``fleet``
+    The native runner (:mod:`repro.scenario.runner`): topology +
+    sessions + phases + faults, gated by the named assertions in
+    :mod:`repro.scenario.gates`.
+``bench``
+    A legacy ``*bench`` driver (faultbench, coopbench, …) run through
+    the same report envelope; ``bench.driver`` names it and
+    ``bench.params`` forwards keyword arguments.
+
+Every spec may carry a ``quick`` section: a partial document deep-merged
+over the spec when the run is invoked with ``--quick`` (dicts merge
+recursively, lists and scalars replace), so one file describes both the
+CI smoke scale and the full nightly scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ArrivalSpec",
+    "BenchSpec",
+    "FaultSpec",
+    "GateSpec",
+    "ImageSpec",
+    "PhaseSpec",
+    "ScenarioSpec",
+    "SessionSpec",
+    "SpecError",
+    "TopologySpec",
+    "deep_merge",
+]
+
+SCENARIO_KINDS = ("fleet", "bench")
+SESSION_MODES = ("inclusive", "exclusive", "cooperative")
+ARRIVAL_KINDS = ("fixed", "uniform", "poisson", "diurnal")
+PHASE_KINDS = ("clone_storm", "trace_load", "restart_clients", "rollout",
+               "migration_wave", "flush")
+FAULT_KINDS = ("link_flap", "server_outage", "server_crash",
+               "proxy_restart", "seeded_flaps", "layer")
+
+#: Phase kinds that boot VMs other phases can replay traces on.
+_VM_SOURCES = ("clone_storm", "rollout")
+
+
+class SpecError(ValueError):
+    """A scenario document failed to parse or validate."""
+
+
+# --------------------------------------------------------------------------
+# Strict dict -> dataclass construction
+# --------------------------------------------------------------------------
+
+def _require_mapping(data, where: str) -> dict:
+    if not isinstance(data, dict):
+        raise SpecError(f"{where}: expected a mapping, got "
+                        f"{type(data).__name__}")
+    return data
+
+
+def _build(cls, data, where: str, nested=None):
+    """Construct dataclass ``cls`` from ``data``, rejecting unknown keys.
+
+    ``nested`` maps a field name to a ``(builder, is_list)`` pair for
+    fields holding nested spec objects.
+    """
+    data = _require_mapping(data, where)
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - names)
+    if unknown:
+        raise SpecError(f"{where}: unknown key(s) {unknown}; "
+                        f"expected a subset of {sorted(names)}")
+    kwargs = {}
+    for key, value in data.items():
+        builder = (nested or {}).get(key)
+        if builder is not None:
+            build, is_list = builder
+            if is_list:
+                if not isinstance(value, (list, tuple)):
+                    raise SpecError(f"{where}.{key}: expected a list")
+                value = tuple(build(item, f"{where}.{key}[{i}]")
+                              for i, item in enumerate(value))
+            else:
+                value = build(value, f"{where}.{key}")
+        elif isinstance(value, list):
+            value = tuple(value)
+        kwargs[key] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise SpecError(f"{where}: {exc}") from None
+
+
+def deep_merge(base: dict, override: dict) -> dict:
+    """Recursive dict merge: mappings merge key-wise, everything else
+    (lists included) replaces.  Returns a new dict; inputs untouched."""
+    out = dict(base)
+    for key, value in override.items():
+        if (isinstance(value, dict) and isinstance(out.get(key), dict)):
+            out[key] = deep_merge(out[key], value)
+        else:
+            out[key] = value
+    return out
+
+
+# --------------------------------------------------------------------------
+# Leaf specs
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ImageSpec:
+    """One golden image materialized on the origin server."""
+
+    name: str
+    memory_mb: int = 16
+    disk_gb: float = 0.125
+    seed: int = 1
+    zero_fraction: float = 0.5
+    #: Generate ``.gvfs`` meta-data (zero maps + file-channel handles);
+    #: off by default so reads flow block-wise through the cache tiers.
+    metadata: bool = False
+
+    @classmethod
+    def from_dict(cls, data, where: str = "image") -> "ImageSpec":
+        spec = _build(cls, data, where)
+        if not spec.name:
+            raise SpecError(f"{where}: image needs a name")
+        if spec.memory_mb < 1:
+            raise SpecError(f"{where}: memory_mb must be >= 1")
+        return spec
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """The testbed: N LAN peers behind the calibrated WAN."""
+
+    peers: int = 1
+    link_mode: str = "exact"            # "exact" | "fluid"
+    images: Tuple[ImageSpec, ...] = ()
+
+    @classmethod
+    def from_dict(cls, data, where: str = "topology") -> "TopologySpec":
+        spec = _build(cls, data, where,
+                      nested={"images": (ImageSpec.from_dict, True)})
+        if spec.peers < 1:
+            raise SpecError(f"{where}: peers must be >= 1")
+        if spec.link_mode not in ("exact", "fluid"):
+            raise SpecError(f"{where}: link_mode must be 'exact' or "
+                            f"'fluid', got {spec.link_mode!r}")
+        names = [img.name for img in spec.images]
+        if len(set(names)) != len(names):
+            raise SpecError(f"{where}: duplicate image names in {names}")
+        return spec
+
+    def to_dict(self) -> dict:
+        return {"peers": self.peers, "link_mode": self.link_mode,
+                "images": [img.to_dict() for img in self.images]}
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Per-peer session + cascade construction knobs."""
+
+    mode: str = "inclusive"             # inclusive | exclusive | cooperative
+    depth: int = 1                      # cascade depth incl. client proxy
+    eviction: str = "lru"
+    client_cache_mb: int = 16
+    #: Intermediate-level cache sizes, client-ward first; when shorter
+    #: than ``depth - 1`` the last entry repeats origin-ward.
+    level_cache_mb: Tuple[int, ...] = ()
+    readahead_depth: int = 0
+    #: ``GvfsSession.harden_rpc`` keyword overrides; ``None`` means
+    #: "default ladder, applied automatically when faults are declared".
+    harden: Optional[dict] = None
+
+    @classmethod
+    def from_dict(cls, data, where: str = "sessions") -> "SessionSpec":
+        spec = _build(cls, data, where)
+        if spec.mode not in SESSION_MODES:
+            raise SpecError(f"{where}: mode must be one of "
+                            f"{list(SESSION_MODES)}, got {spec.mode!r}")
+        if spec.depth < 1:
+            raise SpecError(f"{where}: depth must be >= 1")
+        if spec.client_cache_mb < 1:
+            raise SpecError(f"{where}: client_cache_mb must be >= 1")
+        if spec.harden is not None:
+            _require_mapping(spec.harden, f"{where}.harden")
+        return spec
+
+    def to_dict(self) -> dict:
+        return {"mode": self.mode, "depth": self.depth,
+                "eviction": self.eviction,
+                "client_cache_mb": self.client_cache_mb,
+                "level_cache_mb": list(self.level_cache_mb),
+                "readahead_depth": self.readahead_depth,
+                "harden": dict(self.harden) if self.harden else None}
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """When each peer joins a phase (offsets from the phase start).
+
+    ``fixed``
+        Peer ``i`` arrives at ``i * stagger_s``.
+    ``uniform``
+        Seeded uniform draws over ``[0, window_s]``, sorted.
+    ``poisson``
+        A seeded Poisson process of rate ``rate_per_s``.
+    ``diurnal``
+        Inverse-CDF samples of a day-shaped intensity curve over
+        ``window_s``: load peaks at fraction ``peak`` of the window,
+        concentrated by ``sharpness`` (higher = spikier rush hour).
+    """
+
+    kind: str = "fixed"
+    stagger_s: float = 0.0
+    window_s: float = 0.0
+    rate_per_s: float = 0.0
+    peak: float = 0.5
+    sharpness: float = 2.0
+
+    @classmethod
+    def from_dict(cls, data, where: str = "arrival") -> "ArrivalSpec":
+        spec = _build(cls, data, where)
+        if spec.kind not in ARRIVAL_KINDS:
+            raise SpecError(f"{where}: kind must be one of "
+                            f"{list(ARRIVAL_KINDS)}, got {spec.kind!r}")
+        if spec.kind in ("uniform", "diurnal") and spec.window_s <= 0:
+            raise SpecError(f"{where}: {spec.kind} arrivals need "
+                            "window_s > 0")
+        if spec.kind == "poisson" and spec.rate_per_s <= 0:
+            raise SpecError(f"{where}: poisson arrivals need "
+                            "rate_per_s > 0")
+        return spec
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One step of the scenario timeline."""
+
+    name: str
+    kind: str
+    image: str = ""                     # clone_storm / rollout / migration
+    arrival: ArrivalSpec = ArrivalSpec()
+    # trace_load shape (per peer):
+    reads: int = 0
+    writes: int = 0
+    compute_s: float = 0.0
+    file_mb: int = 1
+    read_fraction: float = 1.0
+
+    @classmethod
+    def from_dict(cls, data, where: str = "phase") -> "PhaseSpec":
+        spec = _build(cls, data, where,
+                      nested={"arrival": (ArrivalSpec.from_dict, False)})
+        if not spec.name:
+            raise SpecError(f"{where}: phase needs a name")
+        if spec.kind not in PHASE_KINDS:
+            raise SpecError(f"{where}: kind must be one of "
+                            f"{list(PHASE_KINDS)}, got {spec.kind!r}")
+        if spec.kind in ("clone_storm", "rollout", "migration_wave") \
+                and not spec.image:
+            raise SpecError(f"{where}: {spec.kind} needs an image")
+        if spec.kind == "trace_load" and spec.reads + spec.writes == 0 \
+                and spec.compute_s <= 0:
+            raise SpecError(f"{where}: trace_load needs reads, writes "
+                            "or compute_s")
+        return spec
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "image": self.image,
+                "arrival": self.arrival.to_dict(), "reads": self.reads,
+                "writes": self.writes, "compute_s": self.compute_s,
+                "file_mb": self.file_mb,
+                "read_fraction": self.read_fraction}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One composed fault-plan element (see :mod:`repro.sim.faults`).
+
+    ``target`` uses the runner's standard names: ``wan`` (the WAN duplex
+    segment), ``origin`` (the image server), ``client:<i>`` (peer i's
+    client proxy), ``level:<k>`` (cascade level k, client proxy = 1) —
+    or, for ``kind: layer``, a chaos name like ``s0/block-cache`` /
+    ``l2/upstream-rpc`` (:mod:`repro.sim.chaos`).
+    """
+
+    kind: str
+    target: str = "wan"
+    at: float = 0.0
+    down_for: float = 0.0
+    flaps: int = 1
+    period: float = 0.0                 # 0 -> link_flap default (2x down)
+    fault: str = ""                     # layer fault kind value
+    arg: object = None
+    seed: int = 0
+    horizon: float = 0.0
+    mean_up: float = 60.0
+    mean_down: float = 2.0
+
+    @classmethod
+    def from_dict(cls, data, where: str = "fault") -> "FaultSpec":
+        spec = _build(cls, data, where)
+        if spec.kind not in FAULT_KINDS:
+            raise SpecError(f"{where}: kind must be one of "
+                            f"{list(FAULT_KINDS)}, got {spec.kind!r}")
+        if spec.kind in ("link_flap", "server_outage", "proxy_restart") \
+                and spec.down_for <= 0:
+            raise SpecError(f"{where}: {spec.kind} needs down_for > 0")
+        if spec.kind == "seeded_flaps" and spec.horizon <= 0:
+            raise SpecError(f"{where}: seeded_flaps needs horizon > 0")
+        if spec.kind == "layer" and not spec.fault:
+            raise SpecError(f"{where}: layer faults need 'fault' (a "
+                            "FaultKind value, e.g. corrupt-frame)")
+        return spec
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """One named acceptance assertion (see :mod:`repro.scenario.gates`)."""
+
+    name: str
+    params: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data, where: str = "gate") -> "GateSpec":
+        if isinstance(data, str):       # shorthand: `- zero_lost_writes`
+            data = {"name": data}
+        spec = _build(cls, data, where)
+        if not spec.name:
+            raise SpecError(f"{where}: gate needs a name")
+        _require_mapping(spec.params, f"{where}.params")
+        return spec
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "params": dict(self.params)}
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """A legacy bench driver run through the scenario envelope."""
+
+    driver: str = ""
+    params: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data, where: str = "bench") -> "BenchSpec":
+        spec = _build(cls, data, where)
+        _require_mapping(spec.params, f"{where}.params")
+        return spec
+
+    def to_dict(self) -> dict:
+        return {"driver": self.driver, "params": dict(self.params)}
+
+
+# --------------------------------------------------------------------------
+# The scenario
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A full declarative scenario document."""
+
+    name: str
+    kind: str = "fleet"
+    description: str = ""
+    seed: int = 0
+    topology: TopologySpec = TopologySpec()
+    sessions: SessionSpec = SessionSpec()
+    phases: Tuple[PhaseSpec, ...] = ()
+    faults: Tuple[FaultSpec, ...] = ()
+    gates: Tuple[GateSpec, ...] = ()
+    bench: BenchSpec = BenchSpec()
+    quick: dict = field(default_factory=dict)
+
+    # -- parsing -----------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data, where: str = "scenario") -> "ScenarioSpec":
+        spec = _build(cls, data, where, nested={
+            "topology": (TopologySpec.from_dict, False),
+            "sessions": (SessionSpec.from_dict, False),
+            "phases": (PhaseSpec.from_dict, True),
+            "faults": (FaultSpec.from_dict, True),
+            "gates": (GateSpec.from_dict, True),
+            "bench": (BenchSpec.from_dict, False),
+        })
+        if not spec.name:
+            raise SpecError(f"{where}: scenario needs a name")
+        if spec.kind not in SCENARIO_KINDS:
+            raise SpecError(f"{where}: kind must be one of "
+                            f"{list(SCENARIO_KINDS)}, got {spec.kind!r}")
+        _require_mapping(spec.quick, f"{where}.quick")
+        spec.validate(where)
+        return spec
+
+    def validate(self, where: str = "scenario") -> None:
+        """Cross-field checks beyond per-section parsing."""
+        if self.kind == "bench":
+            if not self.bench.driver:
+                raise SpecError(f"{where}: bench scenarios need "
+                                "bench.driver")
+            if self.phases or self.faults:
+                raise SpecError(f"{where}: bench scenarios carry no "
+                                "phases/faults — the driver owns its "
+                                "workload")
+            return
+        if not self.phases:
+            raise SpecError(f"{where}: fleet scenarios need at least "
+                            "one phase")
+        images = {img.name for img in self.topology.images}
+        seen = set()
+        booted = False
+        for i, phase in enumerate(self.phases):
+            tag = f"{where}.phases[{i}] ({phase.name})"
+            if phase.name in seen:
+                raise SpecError(f"{tag}: duplicate phase name")
+            seen.add(phase.name)
+            if phase.image and phase.image not in images:
+                raise SpecError(f"{tag}: unknown image {phase.image!r}; "
+                                f"topology declares {sorted(images)}")
+            if phase.kind == "trace_load" and not booted:
+                raise SpecError(f"{tag}: trace_load needs a preceding "
+                                "clone_storm or rollout to boot VMs")
+            if phase.kind in _VM_SOURCES:
+                booted = True
+        if self.sessions.depth < 2 and any(
+                f.target.startswith("level:") for f in self.faults):
+            raise SpecError(f"{where}: level:<k> fault targets need "
+                            "depth >= 2")
+
+    # -- normalization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """The normalized document: every field explicit."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "description": self.description,
+            "seed": self.seed,
+            "topology": self.topology.to_dict(),
+            "sessions": self.sessions.to_dict(),
+            "phases": [p.to_dict() for p in self.phases],
+            "faults": [f.to_dict() for f in self.faults],
+            "gates": [g.to_dict() for g in self.gates],
+            "bench": self.bench.to_dict(),
+            "quick": dict(self.quick),
+        }
+
+    # -- profiles ----------------------------------------------------------
+    def quicked(self) -> "ScenarioSpec":
+        """The spec with its ``quick`` profile deep-merged in.
+
+        Dicts merge recursively; lists and scalars replace.  A spec
+        without a quick section is its own quick profile (the driver's
+        ``quick`` flag still reaches bench drivers).
+        """
+        if not self.quick:
+            return self
+        base = self.to_dict()
+        override = base.pop("quick")
+        merged = deep_merge(base, override)
+        merged["quick"] = {}
+        return ScenarioSpec.from_dict(merged, where=f"{self.name}.quick")
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        return dataclasses.replace(self, seed=seed)
+
+
+def spec_names(specs: List[ScenarioSpec]) -> Dict[str, ScenarioSpec]:
+    return {spec.name: spec for spec in specs}

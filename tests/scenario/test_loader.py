@@ -1,0 +1,93 @@
+"""Loader: format dispatch, library resolution, load-time gate checks."""
+
+import json
+
+import pytest
+
+from repro.scenario.loader import SCENARIO_DIR, list_specs, load_spec
+from repro.scenario.spec import ScenarioSpec, SpecError
+
+DOC = {
+    "name": "loader-t",
+    "kind": "bench",
+    "bench": {"driver": "faultbench", "params": {"quick": True}},
+}
+
+
+def test_load_json_spec(tmp_path):
+    path = tmp_path / "t.json"
+    path.write_text(json.dumps(DOC))
+    spec = load_spec(str(path))
+    assert spec.name == "loader-t"
+    assert spec.bench.driver == "faultbench"
+
+
+def test_load_yaml_spec(tmp_path):
+    yaml = pytest.importorskip("yaml")
+    path = tmp_path / "t.yaml"
+    path.write_text(yaml.safe_dump(DOC))
+    assert load_spec(str(path)) == ScenarioSpec.from_dict(DOC)
+
+
+def test_load_py_spec(tmp_path):
+    path = tmp_path / "t.py"
+    path.write_text(f"SPEC = {DOC!r}\n")
+    assert load_spec(str(path)) == ScenarioSpec.from_dict(DOC)
+
+
+def test_py_spec_without_binding_rejected(tmp_path):
+    path = tmp_path / "t.py"
+    path.write_text("NOT_SPEC = {}\n")
+    with pytest.raises(SpecError, match="SPEC"):
+        load_spec(str(path))
+
+
+def test_unknown_name_lists_library(tmp_path):
+    with pytest.raises(SpecError, match="no scenario"):
+        load_spec("no-such-scenario-anywhere")
+
+
+def test_unknown_gate_fails_at_load_time(tmp_path):
+    doc = {**DOC, "gates": ["not_a_gate"]}
+    path = tmp_path / "t.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(SpecError, match="not_a_gate"):
+        load_spec(str(path))
+
+
+def test_gate_missing_required_param_fails_at_load_time(tmp_path):
+    doc = {**DOC, "gates": [{"name": "makespan_ceiling",
+                             "params": {"phase": "x"}}]}
+    path = tmp_path / "t.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(SpecError, match="max_s"):
+        load_spec(str(path))
+
+
+def test_quick_profile_gates_validated_too(tmp_path):
+    doc = {**DOC, "quick": {"gates": ["bogus_gate"]}}
+    path = tmp_path / "t.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(SpecError, match="bogus_gate"):
+        load_spec(str(path))
+
+
+def test_library_specs_all_load_and_round_trip():
+    specs = list_specs()
+    names = [s.name for s in specs]
+    # The CI matrix cells must all exist in the library.
+    for expected in ("perf_smoke", "fleet_smoke", "fault_smoke",
+                     "cascade_smoke", "coop_smoke", "chaos_smoke",
+                     "farm_smoke", "fleet_rollout"):
+        assert expected in names
+    assert names == sorted(names)
+    for spec in specs:
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+        # quick profile of every library spec must itself be valid
+        spec.quicked()
+
+
+def test_bare_name_resolution_matches_path():
+    path = SCENARIO_DIR / "fault_smoke.yaml"
+    assert load_spec("fault_smoke") == load_spec(str(path))

@@ -1,0 +1,145 @@
+"""Spec schema: strict parsing, normalization round-trip, quick merge."""
+
+import pytest
+
+from repro.scenario.spec import (
+    ArrivalSpec,
+    ScenarioSpec,
+    SpecError,
+    deep_merge,
+)
+
+MINIMAL_FLEET = {
+    "name": "t",
+    "kind": "fleet",
+    "topology": {"peers": 1, "images": [{"name": "img", "memory_mb": 4}]},
+    "phases": [{"name": "storm", "kind": "clone_storm", "image": "img"}],
+}
+
+MINIMAL_BENCH = {
+    "name": "b",
+    "kind": "bench",
+    "bench": {"driver": "faultbench", "params": {"scenarios": ["wan_blip"]}},
+}
+
+
+def test_round_trip_is_identity():
+    for doc in (MINIMAL_FLEET, MINIMAL_BENCH):
+        spec = ScenarioSpec.from_dict(doc)
+        normalized = spec.to_dict()
+        again = ScenarioSpec.from_dict(normalized)
+        assert again == spec
+        assert again.to_dict() == normalized
+
+
+def test_normalized_form_is_fully_explicit():
+    spec = ScenarioSpec.from_dict(MINIMAL_FLEET)
+    doc = spec.to_dict()
+    assert doc["seed"] == 0
+    assert doc["sessions"]["mode"] == "inclusive"
+    assert doc["topology"]["images"][0]["zero_fraction"] == 0.5
+    assert doc["phases"][0]["arrival"]["kind"] == "fixed"
+
+
+@pytest.mark.parametrize("mutate, fragment", [
+    (lambda d: d.update(bogus=1), "bogus"),
+    (lambda d: d["topology"].update(hosts=2), "hosts"),
+    (lambda d: d["topology"]["images"][0].update(sise=1), "sise"),
+    (lambda d: d["phases"][0].update(imgae="img"), "imgae"),
+    (lambda d: d["phases"][0].update(
+        arrival={"kind": "fixed", "stagger": 1}), "stagger"),
+])
+def test_unknown_keys_rejected_at_every_level(mutate, fragment):
+    import copy
+    doc = copy.deepcopy(MINIMAL_FLEET)
+    mutate(doc)
+    with pytest.raises(SpecError, match=fragment):
+        ScenarioSpec.from_dict(doc)
+
+
+@pytest.mark.parametrize("doc, fragment", [
+    ({**MINIMAL_FLEET, "kind": "party"}, "kind"),
+    ({**MINIMAL_FLEET, "phases": []}, "phase"),
+    ({**MINIMAL_FLEET, "phases": [
+        {"name": "x", "kind": "clone_storm", "image": "ghost"}]}, "ghost"),
+    ({**MINIMAL_FLEET, "phases": [
+        {"name": "x", "kind": "trace_load", "reads": 1}]}, "trace_load"),
+    ({**MINIMAL_FLEET, "phases": [
+        {"name": "x", "kind": "clone_storm", "image": "img"},
+        {"name": "x", "kind": "clone_storm", "image": "img"}]},
+     "duplicate"),
+    ({**MINIMAL_BENCH, "bench": {"driver": ""}}, "driver"),
+    ({**MINIMAL_FLEET,
+      "faults": [{"kind": "link_flap", "target": "wan", "at": 1.0}]},
+     "down_for"),
+    ({**MINIMAL_FLEET,
+      "faults": [{"kind": "link_flap", "target": "level:2", "at": 1.0,
+                  "down_for": 1.0}]}, "depth"),
+])
+def test_validation_errors(doc, fragment):
+    with pytest.raises(SpecError, match=fragment):
+        ScenarioSpec.from_dict(doc)
+
+
+def test_arrival_validation():
+    with pytest.raises(SpecError, match="window_s"):
+        ArrivalSpec.from_dict({"kind": "uniform"})
+    with pytest.raises(SpecError, match="rate_per_s"):
+        ArrivalSpec.from_dict({"kind": "poisson"})
+    assert ArrivalSpec.from_dict({"kind": "diurnal",
+                                  "window_s": 10}).window_s == 10
+
+
+def test_deep_merge_semantics():
+    base = {"a": {"b": 1, "c": [1, 2]}, "d": 5}
+    override = {"a": {"c": [9]}, "e": 7}
+    merged = deep_merge(base, override)
+    assert merged == {"a": {"b": 1, "c": [9]}, "d": 5, "e": 7}
+    assert base == {"a": {"b": 1, "c": [1, 2]}, "d": 5}  # untouched
+
+
+def test_quick_profile_deep_merges():
+    doc = {
+        **MINIMAL_FLEET,
+        "sessions": {"depth": 2, "client_cache_mb": 32},
+        "quick": {"topology": {"peers": 1},
+                  "sessions": {"client_cache_mb": 8}},
+    }
+    spec = ScenarioSpec.from_dict(doc)
+    quick = spec.quicked()
+    # Overridden scalar replaced, sibling fields survive the merge.
+    assert quick.sessions.client_cache_mb == 8
+    assert quick.sessions.depth == 2
+    # Untouched sections carried over, quick section consumed.
+    assert quick.topology.images == spec.topology.images
+    assert quick.quick == {}
+    # A spec without a quick section is its own quick profile.
+    assert ScenarioSpec.from_dict(MINIMAL_FLEET).quicked() \
+        == ScenarioSpec.from_dict(MINIMAL_FLEET)
+
+
+def test_quick_profile_list_replacement():
+    doc = {
+        **MINIMAL_FLEET,
+        "quick": {"phases": [{"name": "mini", "kind": "clone_storm",
+                              "image": "img"}]},
+    }
+    quick = ScenarioSpec.from_dict(doc).quicked()
+    assert [p.name for p in quick.phases] == ["mini"]
+
+
+def test_with_seed():
+    spec = ScenarioSpec.from_dict(MINIMAL_FLEET)
+    assert spec.with_seed(99).seed == 99
+    assert spec.with_seed(99).topology == spec.topology
+
+
+def test_gate_shorthand_and_params():
+    doc = {**MINIMAL_FLEET,
+           "gates": ["zero_lost_writes",
+                     {"name": "makespan_ceiling",
+                      "params": {"phase": "storm", "max_s": 10}}]}
+    spec = ScenarioSpec.from_dict(doc)
+    assert [g.name for g in spec.gates] == ["zero_lost_writes",
+                                            "makespan_ceiling"]
+    assert spec.gates[1].params["max_s"] == 10

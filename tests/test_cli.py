@@ -89,6 +89,134 @@ def fleetbench_gates_pass(report):
     return fleetbench.check_report(report) == []
 
 
+BENCH_CMDS = {
+    # subcommand -> (experiments module name, run_* function name)
+    "faultbench": ("faultbench", "run_faultbench"),
+    "chaosbench": ("chaosbench", "run_chaosbench"),
+    "cascadebench": ("cascadebench", "run_cascadebench"),
+    "coopbench": ("coopbench", "run_coopbench"),
+    "fleetbench": ("fleetbench", "run_fleetbench"),
+    "farmbench": ("farmbench", "run_farmbench"),
+}
+
+
+@pytest.mark.parametrize("cmd", sorted(BENCH_CMDS))
+@pytest.mark.parametrize("failures, expected", [([], 0), (["boom"], 1)])
+def test_bench_subcommands_share_gate_exit_codes(cmd, failures, expected,
+                                                 monkeypatch, capsys):
+    """Every bench subcommand turns check_report failures into exit 1
+    (and a clean report into exit 0) through the same code path."""
+    import importlib
+    mod_name, run_name = BENCH_CMDS[cmd]
+    mod = importlib.import_module(f"repro.experiments.{mod_name}")
+    monkeypatch.setattr(mod, run_name,
+                        lambda *a, **k: {"fake": True, "storm": {}})
+    monkeypatch.setattr(mod, "format_report", lambda report: "fake table")
+    monkeypatch.setattr(mod, "check_report",
+                        lambda report, baseline=None: list(failures))
+    assert main([cmd, "--quick"]) == expected
+    captured = capsys.readouterr()
+    assert "fake table" in captured.out
+    if failures:
+        assert "boom" in captured.err and "violated" in captured.err
+    else:
+        assert captured.err == ""
+
+
+@pytest.mark.parametrize("failures, expected", [([], 0), (["slow"], 1)])
+def test_perf_shares_gate_exit_codes(failures, expected, monkeypatch,
+                                     capsys):
+    from repro.experiments import perf
+    from repro.scenario import runner
+
+    class FakeReport:
+        samples = {}
+
+        def to_dict(self):
+            return {"bench": "pr2", "fake": True}
+
+    monkeypatch.setattr(perf, "run_harness",
+                        lambda *a, **k: FakeReport())
+    monkeypatch.setattr(perf, "format_report", lambda report: "fake perf")
+    monkeypatch.setattr(runner, "perf_gate_failures",
+                        lambda report, max_slowdown: list(failures))
+    assert main(["perf", "--quick"]) == expected
+    captured = capsys.readouterr()
+    assert "fake perf" in captured.out
+    if failures:
+        assert "slow" in captured.err and "violated" in captured.err
+
+
+def test_scenario_list_shows_library(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fault_smoke", "fleet_rollout", "perf_smoke"):
+        assert name in out
+
+
+def test_scenario_check_ok_and_unknown(capsys):
+    assert main(["scenario", "check", "fleet_rollout"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet_rollout: OK" in out and "gates:" in out
+    assert main(["scenario", "check", "no_such_spec"]) == 2
+    assert "no scenario" in capsys.readouterr().err
+
+
+def test_scenario_run_unknown_spec_is_usage_error(capsys):
+    assert main(["scenario", "run", "no_such_spec"]) == 2
+    assert "no scenario" in capsys.readouterr().err
+
+
+def test_scenario_run_invalid_spec_file_is_usage_error(capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"name": "x", "kind": "fleet", "bogus": 1}')
+    assert main(["scenario", "run", str(bad)]) == 2
+    assert "bogus" in capsys.readouterr().err
+
+
+def _tiny_spec(tmp_path, max_s):
+    import json
+    doc = {
+        "name": "cli-tiny",
+        "kind": "fleet",
+        "topology": {"peers": 1,
+                     "images": [{"name": "img", "memory_mb": 4,
+                                 "disk_gb": 0.0625, "metadata": True}]},
+        "sessions": {"client_cache_mb": 8},
+        "phases": [{"name": "storm", "kind": "clone_storm",
+                    "image": "img"}],
+        "gates": [{"name": "makespan_ceiling",
+                   "params": {"phase": "storm", "max_s": max_s}}],
+    }
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def test_scenario_run_gate_failure_needs_check_flag(capsys, tmp_path):
+    path = _tiny_spec(tmp_path, max_s=0.001)   # gate must fail
+    assert main(["scenario", "run", str(path), "--quick"]) == 0
+    assert "[FAIL] makespan_ceiling" in capsys.readouterr().out
+    assert main(["scenario", "run", str(path), "--quick", "--check"]) == 1
+    captured = capsys.readouterr()
+    assert "gates failed" in captured.err
+    assert "makespan_ceiling" in captured.err
+
+
+def test_scenario_run_writes_validated_envelope(capsys, tmp_path):
+    import json
+    path = _tiny_spec(tmp_path, max_s=10000.0)
+    out_file = tmp_path / "BENCH_tiny.json"
+    assert main(["scenario", "run", str(path), "--quick", "--check",
+                 "--out", str(out_file)]) == 0
+    envelope = json.loads(out_file.read_text())
+    assert envelope["benchmark"] == "scenario"
+    assert envelope["scenario"] == "cli-tiny"
+    assert envelope["ok"] is True
+    from repro.scenario.schema import validate_report
+    assert validate_report(envelope) == []
+
+
 def test_chaosbench_quick_sweep(capsys, tmp_path):
     out_file = tmp_path / "chaos.json"
     assert main(["chaosbench", "--quick", "--out", str(out_file)]) == 0
